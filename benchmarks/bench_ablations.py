@@ -1,0 +1,50 @@
+"""Extension benches: design-choice ablations from DESIGN.md §5.
+
+Not figures from the paper — they probe the design decisions the paper
+credits for DeepPower's wins: the hierarchical split (vs flat DRL and a
+discrete DQN top layer) and the controller tick granularity (§5.3 claim
+(i): fine-grained control is where the extra savings come from).
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.experiments.ablations import (
+    render_ablation_rows,
+    run_hierarchy_ablation,
+    run_short_time_sweep,
+)
+
+
+def test_ablation_hierarchy(benchmark, emit):
+    rows = run_once(benchmark, run_hierarchy_ablation, app_name="xapian")
+    emit("Ablation — hierarchical DDPG vs flat DRL vs DQN top layer",
+         render_ablation_rows(rows))
+
+    by_name = {r.variant.split(" ")[0]: r for r in rows}
+    dp = by_name["deeppower"]
+    flat = by_name["flat"]
+    # The hierarchy's value: at comparable-or-better power, the thread
+    # controller keeps the tail under control where coarse whole-interval
+    # frequency setting cannot react within the DRL window.
+    assert dp.p99_over_sla <= flat.p99_over_sla + 0.10
+    assert dp.timeout_rate <= flat.timeout_rate + 0.01
+
+
+def test_ablation_short_time(benchmark, emit):
+    rows = run_once(benchmark, run_short_time_sweep, app_name="xapian")
+    emit(
+        "Ablation — controller tick (ShortTime) sweep",
+        format_table(
+            ["short_time (ms)", "power (W)", "p99/SLA", "timeout"],
+            [
+                [r["short_time_ms"], r["power"], r["p99_over_sla"], f"{r['timeout_rate']:.2%}"]
+                for r in rows
+            ],
+            "{:.2f}",
+        ),
+    )
+    # Coarser ticks degrade the tail: the coarsest setting should be no
+    # better than the finest.
+    finest, coarsest = rows[0], rows[-1]
+    assert coarsest["p99_over_sla"] >= finest["p99_over_sla"] - 0.05

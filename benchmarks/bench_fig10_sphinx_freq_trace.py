@@ -1,0 +1,18 @@
+"""Fig 10: per-core frequency traces on Sphinx (second scale) per policy."""
+
+from conftest import run_once
+
+from repro.experiments.fig9_10_freq_traces import render_freq_traces, run_freq_traces
+
+
+def test_fig10_sphinx_frequency_traces(benchmark, emit):
+    results = run_once(benchmark, run_freq_traces, app_name="sphinx")
+    emit("Fig 10 — per-core frequency behaviour, Sphinx", render_freq_traces(results))
+
+    dp = results["deeppower"]
+    # Same qualitative picture at second scale: gradual multi-level ramps
+    # under DeepPower versus per-request levels for the baselines.
+    assert dp.levels_per_request > 2.0
+    for pol in ("retail", "gemini"):
+        assert results[pol].levels_per_request < dp.levels_per_request
+        assert results[pol].freqs.size > 0

@@ -1,0 +1,25 @@
+"""Fig 11: controller behaviour under fixed (BaseFreq, ScalingCoef) pairs."""
+
+from conftest import run_once
+
+from repro.experiments.fig11_fixed_params import (
+    FIG11_SETTINGS,
+    render_fig11,
+    run_fig11,
+)
+
+
+def test_fig11_fixed_parameter_settings(benchmark, emit):
+    results = run_once(benchmark, run_fig11)
+    emit("Fig 11 — fixed (BaseFreq, ScalingCoef) settings", render_fig11(results))
+
+    ordered = [results[s] for s in FIG11_SETTINGS]  # bf rising, sc falling
+    # Paper shape: higher BaseFreq -> warmer idle floor; higher ScalingCoef
+    # -> faster within-request ramp and more turbo residency.
+    floors = [r.idle_floor for r in ordered]
+    ramps = [r.mean_busy_ramp for r in ordered]
+    turbo = [r.turbo_fraction for r in ordered]
+    assert floors == sorted(floors)
+    assert ramps == sorted(ramps, reverse=True)
+    assert turbo == sorted(turbo, reverse=True)
+    assert all(r.mean_busy_ramp > 0 for r in ordered)

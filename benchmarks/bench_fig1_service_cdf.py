@@ -1,0 +1,21 @@
+"""Fig 1: CDF of service time / mean — long-tailed Tailbench distributions."""
+
+from conftest import run_once
+
+from repro.experiments.fig1_cdf import render_fig1, run_fig1
+
+
+def test_fig1_service_time_cdf(benchmark, emit):
+    results = run_once(benchmark, run_fig1)
+    emit("Fig 1 — service-time CDFs (normalised by mean)", render_fig1(results))
+
+    # Paper shape: Moses has the heaviest tail (~8x mean), long tails
+    # everywhere except the near-deterministic apps.
+    ratios = {k: v.tail_ratio_p99 for k, v in results.items()}
+    assert max(ratios, key=ratios.get) == "moses"
+    assert ratios["moses"] > 6.0
+    assert ratios["xapian"] > 3.0
+    assert ratios["sphinx"] < 3.5
+    # CDFs are proper distributions
+    for r in results.values():
+        assert r.p[-1] == 1.0

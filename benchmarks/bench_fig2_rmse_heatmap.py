@@ -1,0 +1,19 @@
+"""Fig 2: relative-RMSE heatmap — prediction degrades across load levels."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.fig2_rmse import render_fig2, run_fig2
+
+
+def test_fig2_relative_rmse_heatmap(benchmark, emit):
+    results = run_once(benchmark, run_fig2)
+    emit("Fig 2 — relative RMSE across load levels", render_fig2(results))
+
+    for name, r in results.items():
+        m = r.matrix
+        # Diagonal ~1 by construction.
+        assert np.allclose(np.diag(m), 1.0, atol=0.02)
+        # Paper's motivation: substantial degradation at large load gaps.
+        assert m[-1, 0] > 1.2, f"{name}: high->low transfer should degrade"
+        assert r.stats["offdiag_mean"] > 1.0

@@ -1,0 +1,31 @@
+"""Fig 4: millisecond-level frequency under the thread controller (2 s)."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.cpu import DEFAULT_TABLE
+from repro.experiments.fig4_controller import render_fig4, run_fig4
+
+
+def test_fig4_controller_frequency_trace(benchmark, emit):
+    result = run_once(benchmark, run_fig4)
+    emit("Fig 4 — per-tick core frequency over a 2 s (physical) window",
+         render_fig4(result))
+
+    table = DEFAULT_TABLE
+    # Every recorded frequency is a legal DVFS level.
+    assert all(f in table for f in np.unique(result.frequency))
+
+    # The idle floor before the update follows BaseFreq; after the update
+    # (higher BaseFreq) the floor rises.
+    floor_before = table.quantize(table.from_score(result.params_before[0]))
+    floor_after = table.quantize(table.from_score(result.params_after[0]))
+    half = len(result.times) // 2
+    assert result.frequency[:half].min() >= floor_before - 1e-9
+    assert result.frequency[half + 1 :].min() >= floor_after - 1e-9
+    assert result.frequency[half:].mean() > result.frequency[:half].mean()
+
+    # Requests were actually served on the observed core, and the
+    # frequency ramps during processing (more than one level visited).
+    assert len(result.request_spans) > 3
+    assert len(np.unique(result.frequency)) >= 3

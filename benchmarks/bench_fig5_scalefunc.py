@@ -1,0 +1,19 @@
+"""Fig 5: the reward's queue-gating scaleFunc at eta = 100."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.core import scale_func
+from repro.experiments.fig5_scalefunc import render_fig5, run_fig5
+
+
+def test_fig5_scale_function(benchmark, emit):
+    result = run_once(benchmark, run_fig5, eta=100.0)
+    emit("Fig 5 — scaleFunc(x), eta=100", render_fig5(result))
+
+    # Paper shape: ~0 below eta, 0.5 at the change point near eta,
+    # converging to 1 above.
+    assert result.change_point == 100.0 or abs(result.change_point - 100.0) < 5.0
+    assert scale_func(10, 100.0) < 0.02
+    assert scale_func(1e5, 100.0) > 0.99
+    assert np.all(np.diff(result.y) >= -1e-12)  # monotone

@@ -1,0 +1,18 @@
+"""Fig 6: diurnal RPS workload (synthetic e-commerce-search equivalent)."""
+
+from conftest import run_once
+
+from repro.experiments.fig6_workload import render_fig6, run_fig6
+
+
+def test_fig6_workload_trace(benchmark, emit):
+    result = run_once(benchmark, run_fig6)
+    emit("Fig 6 — RPS over time", render_fig6(result))
+
+    # Structural statistics of the paper's trace: strong diurnal pattern,
+    # meaningful peak-to-trough swing, non-negative rates.
+    assert result.daily_autocorr > 0.6
+    assert result.peak_mean_ratio > 1.4
+    assert result.trough_mean_ratio < 0.6
+    assert (result.month.rates > 0).all()
+    assert (result.downsampled.rates >= 0).all()

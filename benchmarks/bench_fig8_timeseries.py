@@ -1,0 +1,22 @@
+"""Fig 8: DeepPower's per-second behaviour on Xapian under the diurnal load."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.fig8_timeseries import render_fig8, run_fig8
+
+
+def test_fig8_behaviour_timeseries(benchmark, emit):
+    result = run_once(benchmark, run_fig8)
+    emit("Fig 8 — RPS / power / actions / avg frequency", render_fig8(result))
+
+    # Paper shape: "the variation curve of the power consumption basically
+    # matches the RPS" — strong positive correlation; the actions track the
+    # load too (higher parameters under higher RPS).
+    assert result.corr_power_rps > 0.3
+    assert len(result.times) > 20
+    assert np.all((result.base_freq >= 0) & (result.base_freq <= 1))
+    assert np.all((result.scaling_coef >= 0) & (result.scaling_coef <= 1))
+    # Average worker frequency stays within the DVFS range.
+    assert result.avg_frequency.min() >= 0.8 - 1e-9
+    assert result.avg_frequency.max() <= 3.0 + 1e-9

@@ -1,0 +1,24 @@
+"""Fig 9: per-core frequency traces on Xapian (ms scale) per policy."""
+
+from conftest import run_once
+
+from repro.experiments.fig9_10_freq_traces import render_freq_traces, run_freq_traces
+
+
+def test_fig9_xapian_frequency_traces(benchmark, emit):
+    results = run_once(benchmark, run_freq_traces, app_name="xapian")
+    emit("Fig 9 — per-core frequency behaviour, Xapian", render_freq_traces(results))
+
+    dp = results["deeppower"]
+    rt = results["retail"]
+    gm = results["gemini"]
+    # The paper's visual: DeepPower gradually scales frequency *during*
+    # each request (many levels per request) while the prediction-based
+    # baselines pick a level once or twice per request.
+    assert dp.levels_per_request > 2.0
+    assert dp.levels_per_request > rt.levels_per_request
+    assert dp.levels_per_request > gm.levels_per_request
+    assert rt.levels_per_request < 3.0
+    # And because it ramps instead of boosting, DeepPower saturates at
+    # turbo for a modest share of the time.
+    assert dp.turbo_fraction < 0.5

@@ -1,0 +1,73 @@
+"""Extension bench: sleep states (the paper's deferred future work).
+
+The paper's related work argues sleep-state techniques (DynSleep, uDPM)
+are complementary to DVFS and defers their integration.  This bench runs
+the DynSleep-style postpone-and-sleep policy on a light diurnal load and
+quantifies the trade the paper describes: longer idle periods -> deeper
+C-state residency -> energy credit, at the price of latencies pushed
+toward (but not past) the SLA.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.baselines import DynSleepPolicy, MaxFrequencyPolicy
+from repro.experiments.runner import run_policy
+from repro.experiments.scenarios import active_profile, evaluation_trace
+from repro.workload import get_app
+
+
+def _run(full_profile):
+    app = get_app("img-dnn")
+    profile = active_profile()
+    trace = evaluation_trace(profile).scaled_to_mean(
+        app.rps_for_load(0.25, profile.num_cores)  # light load: idle-rich
+    )
+    base = run_policy(
+        lambda ctx: MaxFrequencyPolicy(ctx), app, trace, profile.num_cores, seed=31
+    )
+    holder = {}
+
+    def factory(ctx):
+        pol = DynSleepPolicy(ctx, pad=1.5)
+        holder["policy"] = pol
+        return pol
+
+    dyn = run_policy(factory, app, trace, profile.num_cores, seed=31)
+    return app, base, dyn, holder["policy"]
+
+
+def test_sleep_state_extension(benchmark, emit):
+    app, base, dyn, policy = run_once(benchmark, _run, full_profile=None)
+
+    sleep_credit = policy.sleep_energy_saved()
+    effective_dyn_power = (dyn.metrics.energy_joules - sleep_credit) / dyn.metrics.duration
+    emit(
+        "Extension — DynSleep-style sleep states (light load)",
+        format_table(
+            ["policy", "power (W)", "p99/SLA", "mean/SLA", "timeouts"],
+            [
+                ["baseline", base.metrics.avg_power_watts,
+                 f"{base.metrics.tail_latency / app.sla:.2f}x",
+                 f"{base.metrics.mean_latency / app.sla:.2f}x",
+                 f"{base.metrics.timeout_rate:.2%}"],
+                ["dynsleep (incl. C-state credit)", effective_dyn_power,
+                 f"{dyn.metrics.tail_latency / app.sla:.2f}x",
+                 f"{dyn.metrics.mean_latency / app.sla:.2f}x",
+                 f"{dyn.metrics.timeout_rate:.2%}"],
+            ],
+            "{:.2f}",
+        )
+        + f"\n\ndeep-state residency: {policy.deep_state_residency():.1f} s"
+        f"  postponed requests: {policy.postpone_count}"
+        f"  sleep energy credit: {sleep_credit:.1f} J",
+    )
+
+    # The future-work trade, quantified: postponement creates deep idle
+    # residency and an energy credit, while tail latency moves toward the
+    # SLA but the timeout rate stays controlled.
+    assert policy.deep_state_residency() > 1.0
+    assert sleep_credit > 0.0
+    assert dyn.metrics.mean_latency > base.metrics.mean_latency
+    assert dyn.metrics.timeout_rate < 0.05
+    assert effective_dyn_power < base.metrics.avg_power_watts

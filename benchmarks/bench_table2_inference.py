@@ -1,0 +1,21 @@
+"""Table 2: DRL algorithm inference times (motivation for the hierarchy)."""
+
+from conftest import run_once
+
+from repro.experiments.table2_inference import render_table2, run_table2
+from repro.workload import PAPER_APPS
+
+
+def test_table2_inference_times(benchmark, emit):
+    results = run_once(benchmark, run_table2, repetitions=1000)
+    emit("Table 2 — inference time per action", render_table2(results))
+
+    # The paper's conclusion: inference costs tens-to-hundreds of
+    # microseconds — the same order as fast LC requests' physical service
+    # time — so request-level DRL control is infeasible.
+    masstree_service_us = PAPER_APPS["masstree"].mean_service_fmax * 1e6
+    assert results["DDPG"].mean_us > 10.0
+    assert results["DDPG"].mean_us > 0.1 * masstree_service_us
+    # Actor-based methods are costlier than a single value-net argmax.
+    assert results["DDPG"].mean_us > results["DQN"].mean_us
+    assert results["SAC"].mean_us > results["DQN"].mean_us

@@ -1,0 +1,33 @@
+"""Table 3: unmanaged p99 latency at 20/50/70 % load per application."""
+
+from conftest import run_once
+
+from repro.experiments.table3_load_latency import render_table3, run_table3
+
+
+def test_table3_p99_vs_load(benchmark, emit):
+    results = run_once(benchmark, run_table3)
+    emit("Table 3 — p99 latency (ms) at static loads", render_table3(results))
+
+    from repro.experiments.scenarios import active_profile
+
+    # The smoke profile's 4-core socket queues burstier than the full
+    # 8-core one, so the absolute envelope is profile-dependent; the
+    # paper-shape assertions (growth with load, img-dnn flatness) are not.
+    envelope = 1.4 if active_profile().is_full else 2.2
+    for name, row in results.items():
+        p99 = row.p99_ms
+        # Queueing grows the tail with load; allow small-sample noise for
+        # the near-deterministic app at low loads.
+        assert p99[0.7] >= p99[0.2] * 0.95, name
+        # These loads remain servable (no runaway saturation).
+        assert p99[0.7] <= row.sla_ms * envelope, name
+
+    # Img-dnn's deterministic service keeps its tail far below the SLA at
+    # every load (paper: 2.30 / 2.30 / 2.48 ms vs SLA 5), unlike the
+    # long-tailed apps, whose p99 sits near their SLA.
+    img = results["img-dnn"]
+    assert all(v <= img.sla_ms * 0.7 for v in img.p99_ms.values())
+    for name in ("xapian", "masstree", "moses", "sphinx"):
+        row = results[name]
+        assert row.p99_ms[0.7] / row.sla_ms > img.p99_ms[0.7] / img.sla_ms

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Regenerate every cheap paper artifact at the full profile.
+
+Writes rendered text blocks to ``.artifacts/experiments_full.txt`` — the
+source material for EXPERIMENTS.md.  (Fig 7/8/9/10 come from the training
+pipeline logs under ``.artifacts/logs/``.)
+
+Run:  REPRO_FULL=1 python benchmarks/collect_full_results.py
+"""
+
+import os
+import sys
+import time
+
+from repro.experiments.registry import get_experiment
+
+CHEAP = ["fig1", "fig2", "table2", "table3", "fig4", "fig5", "fig6", "fig11", "overhead"]
+
+
+def main() -> None:
+    os.environ.setdefault("REPRO_FULL", "1")
+    out_path = os.path.join(".artifacts", "experiments_full.txt")
+    os.makedirs(".artifacts", exist_ok=True)
+    with open(out_path, "w") as fh:
+        for eid in CHEAP:
+            exp = get_experiment(eid)
+            t0 = time.time()
+            try:
+                text = exp.execute()
+            except TypeError:
+                text = exp.render(exp.run())
+            block = (
+                f"\n===== {eid}: {exp.description} =====\n"
+                f"{text}\n(regenerated in {time.time() - t0:.1f}s)\n"
+            )
+            fh.write(block)
+            sys.stdout.write(block)
+            sys.stdout.flush()
+    print(f"\nwrote {out_path}")
+
+
+if __name__ == "__main__":
+    main()

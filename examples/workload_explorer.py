@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Explore the workload substrate: app tails (Fig 1) and traces (Fig 6).
+
+Prints each Tailbench-like app's service-time statistics next to the paper
+Table 3 SLAs, then synthesizes a month of diurnal e-commerce-style RPS and
+downsamples it to an evaluation trace exactly as §5.2 describes.
+
+Run:  python examples/workload_explorer.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table, sparkline, tail_ratio
+from repro.sim import RngRegistry
+from repro.workload import SIM_APPS, diurnal_trace, synthesize_month
+
+SAMPLES = 30_000
+
+
+def main() -> None:
+    rngs = RngRegistry(seed=1)
+
+    print("Tailbench-like application catalog (sim scale):\n")
+    rows = []
+    for name, app in SIM_APPS.items():
+        works, _ = app.service.sample_batch(rngs.get(f"svc-{name}"), SAMPLES)
+        rows.append([
+            name,
+            app.sla * 1e3,
+            app.mean_service_fmax * 1e3,
+            tail_ratio(works, 0.99),
+            f"{app.dilation:.0f}x",
+            app.description,
+        ])
+    print(format_table(
+        ["app", "SLA (ms)", "mean svc (ms)", "p99/mean", "dilation", "workload"],
+        rows, "{:.2f}",
+    ))
+
+    print("\nnormalised service-time CDFs (x axis 0..8x mean):")
+    for name, app in SIM_APPS.items():
+        works, _ = app.service.sample_batch(rngs.get(f"cdf-{name}"), SAMPLES)
+        grid = np.linspace(0, 8, 70)
+        cdf = np.searchsorted(np.sort(works / works.mean()), grid) / len(works)
+        print(f"  {name:9s} {sparkline(cdf, 70)}")
+
+    print("\nmonth-long synthetic e-commerce RPS (hourly):")
+    month = synthesize_month(rngs.get("month"))
+    print("  " + sparkline(month.rates, 100))
+    print(f"  peak/mean {month.peak_rate() / month.mean_rate():.2f}, "
+          f"trough/mean {month.rates.min() / month.mean_rate():.2f}")
+
+    trace = diurnal_trace(rngs.get("eval"), duration=360.0, num_segments=120)
+    print("\ndownsampled 360 s evaluation trace (the paper's default period):")
+    print("  " + sparkline(trace.rates, 100))
+    print(f"  {len(trace.rates)} segments, mean {trace.mean_rate():.1f} rps "
+          "(unscaled; experiments rescale it to each app's calibrated load)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""DeepPower reproduction: DRL-based hierarchical power management for
+latency-critical multi-core systems (Zhang et al., ICPP 2023).
+
+Package map
+-----------
+``repro.sim``
+    Discrete-event simulation kernel (virtual clock, event heap, RNG).
+``repro.cpu``
+    Multicore CPU substrate: DVFS table, power model, RAPL monitor,
+    cpufreq governors.
+``repro.workload``
+    Tailbench-like apps, service-time processes, diurnal RPS traces,
+    open-loop arrivals.
+``repro.server``
+    The latency-critical server: queue, worker threads, metrics, telemetry.
+``repro.nn`` / ``repro.rl``
+    Numpy neural-network substrate and the DRL algorithms (DDPG, DQN,
+    DDQN, SAC).
+``repro.core``
+    DeepPower itself: thread controller (Algorithm 1), state observer,
+    reward calculator, DDPG agent, hierarchical runtime (Algorithm 2).
+``repro.baselines``
+    Comparison policies: baseline (max frequency), ReTail, Gemini, cpufreq
+    governors, oracle.
+``repro.experiments``
+    One module per paper table/figure plus ablations; see DESIGN.md.
+
+Quickstart
+----------
+>>> from repro.experiments import get_experiment
+>>> print(get_experiment("fig5").execute())  # doctest: +SKIP
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

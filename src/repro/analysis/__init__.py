@@ -1,0 +1,36 @@
+"""Analysis helpers: statistics and plain-text reporting."""
+
+from .queueing import MmcQueue, erlang_c, mdc_mean_wait, mg1_mean_wait
+from .timeseries import lagged_correlation, moving_average, series_summary, window_binned
+from .reporting import format_heatmap, format_markdown_table, format_table, sparkline
+from .stats import (
+    bootstrap_mean_ci,
+    ecdf,
+    normalized_cdf,
+    quantile,
+    relative_error_matrix_stats,
+    rmse,
+    tail_ratio,
+)
+
+__all__ = [
+    "erlang_c",
+    "MmcQueue",
+    "mg1_mean_wait",
+    "mdc_mean_wait",
+    "ecdf",
+    "normalized_cdf",
+    "tail_ratio",
+    "quantile",
+    "rmse",
+    "relative_error_matrix_stats",
+    "bootstrap_mean_ci",
+    "format_table",
+    "moving_average",
+    "window_binned",
+    "lagged_correlation",
+    "series_summary",
+    "format_markdown_table",
+    "format_heatmap",
+    "sparkline",
+]

@@ -1,0 +1,180 @@
+"""Analytic queueing models used to validate the simulator.
+
+The discrete-event server is the foundation every result in this
+reproduction stands on, so we cross-check it against closed-form queueing
+theory where closed forms exist:
+
+* **M/M/c** — Poisson arrivals, exponential service, c servers: Erlang-C
+  waiting probability, mean wait, and the full sojourn-time distribution.
+* **M/D/c** (approximation) — deterministic service; mean wait via the
+  classic Cosmetatos-style heavy-traffic correction of M/M/c.
+* **M/G/1** — Pollaczek–Khinchine mean waiting time from the first two
+  service-time moments.
+
+The integration tests run the simulator with matching parameters and
+assert agreement, which pins down the arrival process, the FIFO queue, the
+non-preemptive workers and the frequency/work accounting all at once.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "erlang_c",
+    "MmcQueue",
+    "mg1_mean_wait",
+    "mdc_mean_wait",
+]
+
+
+def erlang_c(c: int, a: float) -> float:
+    """Erlang-C formula: probability an arrival waits in M/M/c.
+
+    Parameters
+    ----------
+    c:
+        Number of servers.
+    a:
+        Offered load in Erlangs (``lambda / mu``); requires ``a < c``.
+
+    Examples
+    --------
+    >>> round(erlang_c(1, 0.5), 3)   # M/M/1: P(wait) = rho
+    0.5
+    """
+    if c <= 0:
+        raise ValueError("c must be positive")
+    if not 0 <= a < c:
+        raise ValueError("need offered load 0 <= a < c for stability")
+    if a == 0:
+        return 0.0
+    # Sum_{k<c} a^k/k!  computed stably in log space is unnecessary at the
+    # sizes used here; direct iteration is exact enough.
+    term = 1.0
+    acc = 1.0
+    for k in range(1, c):
+        term *= a / k
+        acc += term
+    term *= a / c  # a^c / c!
+    tail = term * (c / (c - a))
+    return tail / (acc + tail)
+
+
+@dataclass(frozen=True)
+class MmcQueue:
+    """M/M/c performance measures.
+
+    Parameters
+    ----------
+    arrival_rate:
+        lambda, requests/second.
+    service_rate:
+        mu, completions/second per server.
+    servers:
+        c.
+    """
+
+    arrival_rate: float
+    service_rate: float
+    servers: int
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate < 0 or self.service_rate <= 0 or self.servers <= 0:
+            raise ValueError("invalid M/M/c parameters")
+        if self.utilization >= 1.0:
+            raise ValueError("unstable queue: rho >= 1")
+
+    @property
+    def offered_load(self) -> float:
+        return self.arrival_rate / self.service_rate
+
+    @property
+    def utilization(self) -> float:
+        return self.offered_load / self.servers
+
+    @property
+    def wait_probability(self) -> float:
+        """P(arrival must queue) — Erlang C."""
+        return erlang_c(self.servers, self.offered_load)
+
+    @property
+    def mean_wait(self) -> float:
+        """Expected queueing delay Wq (seconds)."""
+        c, a = self.servers, self.offered_load
+        return self.wait_probability / (c * self.service_rate - self.arrival_rate)
+
+    @property
+    def mean_sojourn(self) -> float:
+        """Expected latency W = Wq + 1/mu."""
+        return self.mean_wait + 1.0 / self.service_rate
+
+    @property
+    def mean_queue_length(self) -> float:
+        """Expected number waiting, Lq = lambda * Wq (Little's law)."""
+        return self.arrival_rate * self.mean_wait
+
+    def sojourn_quantile(self, q: float) -> float:
+        """Quantile of the sojourn-time distribution.
+
+        For M/M/c the waiting time is 0 with prob ``1 - Pw`` and
+        exponential with rate ``c mu - lambda`` otherwise; service is
+        exponential with rate ``mu``.  The quantile is computed numerically
+        from the convolution's closed-form CDF.
+        """
+        if not 0 < q < 1:
+            raise ValueError("q must be in (0, 1)")
+        pw = self.wait_probability
+        mu = self.service_rate
+        theta = self.servers * mu - self.arrival_rate  # conditional wait rate
+
+        def cdf(t: float) -> float:
+            # P(W + S <= t) with W the mixed wait and S ~ Exp(mu).
+            s_only = 1.0 - math.exp(-mu * t)
+            if abs(theta - mu) < 1e-12:
+                conv = 1.0 - math.exp(-mu * t) * (1.0 + mu * t)
+            else:
+                conv = 1.0 - (
+                    theta * math.exp(-mu * t) - mu * math.exp(-theta * t)
+                ) / (theta - mu)
+            return (1.0 - pw) * s_only + pw * conv
+
+        lo, hi = 0.0, 1.0
+        while cdf(hi) < q:
+            hi *= 2.0
+            if hi > 1e9:  # pragma: no cover - numerically impossible here
+                raise RuntimeError("quantile search diverged")
+        for _ in range(200):
+            mid = 0.5 * (lo + hi)
+            if cdf(mid) < q:
+                lo = mid
+            else:
+                hi = mid
+        return 0.5 * (lo + hi)
+
+
+def mg1_mean_wait(arrival_rate: float, service_mean: float, service_scv: float) -> float:
+    """Pollaczek–Khinchine mean wait for M/G/1.
+
+    ``service_scv`` is the squared coefficient of variation
+    (variance / mean^2) of the service time.
+    """
+    rho = arrival_rate * service_mean
+    if not 0 <= rho < 1:
+        raise ValueError("unstable M/G/1: rho >= 1")
+    if service_scv < 0:
+        raise ValueError("scv must be >= 0")
+    return rho * service_mean * (1.0 + service_scv) / (2.0 * (1.0 - rho))
+
+
+def mdc_mean_wait(arrival_rate: float, service_time: float, servers: int) -> float:
+    """Approximate mean wait for M/D/c.
+
+    Uses the standard two-moment reduction: deterministic service has
+    SCV = 0, so ``Wq(M/D/c) ~ Wq(M/M/c) * (1 + 0) / 2``.
+    """
+    mmc = MmcQueue(arrival_rate, 1.0 / service_time, servers)
+    return mmc.mean_wait / 2.0

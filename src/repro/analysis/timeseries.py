@@ -1,0 +1,90 @@
+"""Time-series helpers for behaviour traces (Fig 8-style analysis)."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["moving_average", "window_binned", "lagged_correlation", "series_summary"]
+
+
+def moving_average(values: Sequence[float], window: int) -> np.ndarray:
+    """Centered-ish moving average with edge shrinkage.
+
+    Examples
+    --------
+    >>> list(moving_average([1, 2, 3, 4], 2))
+    [1.0, 1.5, 2.5, 3.5]
+    """
+    v = np.asarray(values, dtype=float)
+    if window <= 0:
+        raise ValueError("window must be positive")
+    if v.size == 0 or window == 1:
+        return v.copy()
+    out = np.empty_like(v)
+    csum = np.concatenate([[0.0], np.cumsum(v)])
+    for i in range(v.size):
+        lo = max(0, i - window + 1)
+        out[i] = (csum[i + 1] - csum[lo]) / (i + 1 - lo)
+    return out
+
+
+def window_binned(
+    times: Sequence[float],
+    values: Sequence[float],
+    bin_width: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Average ``values`` into fixed-width time bins.
+
+    Returns bin centers and per-bin means (empty bins are dropped).
+    """
+    t = np.asarray(times, dtype=float)
+    v = np.asarray(values, dtype=float)
+    if t.shape != v.shape:
+        raise ValueError("times and values must align")
+    if bin_width <= 0:
+        raise ValueError("bin_width must be positive")
+    if t.size == 0:
+        return np.zeros(0), np.zeros(0)
+    idx = np.floor((t - t.min()) / bin_width).astype(int)
+    centers, means = [], []
+    for b in np.unique(idx):
+        mask = idx == b
+        centers.append(t.min() + (b + 0.5) * bin_width)
+        means.append(float(v[mask].mean()))
+    return np.array(centers), np.array(means)
+
+
+def lagged_correlation(a: Sequence[float], b: Sequence[float], max_lag: int) -> np.ndarray:
+    """Pearson correlation of ``a[t]`` with ``b[t + lag]`` for lags 0..max_lag.
+
+    Useful to check whether power *follows* RPS (positive lag peak near 0
+    in Fig 8) or reacts late (peak at lag >= 1 DRL step).
+    """
+    x = np.asarray(a, dtype=float)
+    y = np.asarray(b, dtype=float)
+    if x.shape != y.shape:
+        raise ValueError("series must align")
+    if max_lag < 0 or max_lag >= x.size - 1:
+        raise ValueError("max_lag out of range")
+    out = np.empty(max_lag + 1)
+    for lag in range(max_lag + 1):
+        xa = x[: x.size - lag]
+        yb = y[lag:]
+        out[lag] = float(np.corrcoef(xa, yb)[0, 1]) if xa.size > 2 else 0.0
+    return out
+
+
+def series_summary(values: Sequence[float]) -> dict:
+    """Compact stats dict for a behaviour series."""
+    v = np.asarray(values, dtype=float)
+    if v.size == 0:
+        return {"n": 0, "mean": 0.0, "std": 0.0, "min": 0.0, "max": 0.0}
+    return {
+        "n": int(v.size),
+        "mean": float(v.mean()),
+        "std": float(v.std()),
+        "min": float(v.min()),
+        "max": float(v.max()),
+    }

@@ -1,0 +1,155 @@
+"""Gemini (Zhou et al., MICRO 2020): NN prediction + two-stage frequency.
+
+Per the DeepPower paper's description (§2.2, §6): Gemini predicts a
+request's service time with a neural network, sets a low *baseline*
+frequency when the request starts (stage 1), and boosts to the maximum
+frequency when the request — or the waiting queue — risks timing out
+(stage 2).  The boost check is a periodic pass over in-flight requests.
+
+The check period is an absolute design constant of the physical system
+(Gemini targets millisecond-scale web search); relative to each app it
+therefore scales with the app's time dilation.  For a Masstree-class
+workload whose SLA is of the same order as the check period, stage 2 can
+no longer rescue mispredicted requests — reproducing the paper's
+observation that Gemini's tail latency exceeds 3x SLA on Masstree ("the
+contradiction between the complex control mechanism of Gemini and the
+microsecond-level request processing time").
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from ..cpu.core import Core
+from ..sim.engine import PeriodicTask
+from ..workload.request import Request
+from .base import PowerManager
+from .predictors import MlpServicePredictor, ServicePredictor, profile_app
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..experiments.runner import RunContext
+
+__all__ = ["GeminiPolicy"]
+
+
+class GeminiPolicy(PowerManager):
+    """Gemini two-stage power manager.
+
+    Parameters
+    ----------
+    ctx:
+        Run context.
+    predictor:
+        Fitted service predictor; defaults to an MLP profiled offline at
+        ``profile_load``.
+    profile_load:
+        Utilisation for offline profiling.
+    slack_margin:
+        Stage 1 picks the lowest frequency whose predicted completion fits
+        within this fraction of the request's remaining deadline budget.
+    check_period_physical:
+        Stage-2 boost-check period in *physical* seconds (default 1 ms,
+        Gemini's web-search-scale design point); multiplied by the app's
+        time dilation at attach time.
+    queue_risk_fraction:
+        Queue head older than this fraction of the SLA triggers a global
+        boost (the "queue risks timing out" condition).
+    overhead_us_physical:
+        Per-request NN inference charged to the serving core, physical
+        microseconds (scaled by dilation).
+    """
+
+    name = "gemini"
+
+    def __init__(
+        self,
+        ctx: "RunContext",
+        predictor: Optional[ServicePredictor] = None,
+        profile_load: float = 0.5,
+        slack_margin: float = 0.5,
+        pad_sigma: float = 1.5,
+        check_period_physical: float = 1e-3,
+        queue_risk_fraction: float = 0.35,
+        overhead_us_physical: float = 20.0,
+    ) -> None:
+        super().__init__(ctx)
+        if predictor is None:
+            predictor = MlpServicePredictor(ctx.rngs.get("gemini-net"))
+            feats, works = profile_app(
+                ctx.app, ctx.rngs.get("gemini-profile"), n=2000, load=profile_load
+            )
+            predictor.fit(feats, works)
+        self.predictor = predictor
+        self.pad = pad_sigma * predictor.residual_std_
+        self.slack_margin = slack_margin
+        self.check_period = check_period_physical * ctx.app.dilation
+        self.queue_risk_fraction = queue_risk_fraction
+        self.overhead_work = overhead_us_physical * 1e-6 * ctx.app.dilation * 2.1
+        self._task: Optional[PeriodicTask] = None
+        #: req_id -> (predicted work, baseline frequency)
+        self._inflight: Dict[int, tuple] = {}
+        self.boosts = 0
+
+    # -------------------------------------------------------------------- hooks
+
+    def setup(self) -> None:
+        self.cpu.set_all_frequencies(self.table.fmin)
+        self._task = self.engine.every(self.check_period, self._boost_check)
+
+    def teardown(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+
+    def on_start(self, request: Request, core: Core) -> None:
+        w_pred = self.predictor.predict_one(request.features) + self.pad
+        slack = request.deadline() - self.engine.now
+        if slack <= 0:
+            f = self.table.turbo
+        else:
+            f = self.table.quantize(w_pred / (self.slack_margin * slack))
+        core.set_frequency(f)
+        self._inflight[request.req_id] = (w_pred, f)
+        if self.overhead_work > 0.0:
+            self.worker_for_core(core).inflate_work(self.overhead_work)
+
+    def on_complete(self, request: Request, core: Core) -> None:
+        # Bookkeeping only: like ReTail, Gemini decides frequency per
+        # request and leaves idle cores at their last level.
+        self._inflight.pop(request.req_id, None)
+
+    # -------------------------------------------------------------- stage two
+
+    def _boost_check(self) -> None:
+        """Boost any at-risk in-flight request; global boost on queue risk."""
+        now = self.engine.now
+        queue_risk = False
+        head = self.server.queue.peek()
+        if head is not None:
+            waited = now - head.arrival_time
+            queue_risk = waited > self.queue_risk_fraction * self.server.sla
+
+        for worker in self.server.workers:
+            req = worker.current
+            if req is None:
+                continue
+            core = worker.core
+            if core.frequency >= self.table.turbo:
+                continue
+            if queue_risk:
+                core.set_frequency(self.table.turbo)
+                self.boosts += 1
+                continue
+            info = self._inflight.get(req.req_id)
+            if info is None:
+                continue
+            w_pred, f_base = info
+            elapsed = now - (req.start_time or now)
+            est_done_work = elapsed * core.frequency
+            remaining_pred = max(w_pred - est_done_work, 0.0)
+            projected_finish = now + remaining_pred / core.frequency
+            # Boost when the projection overshoots the deadline, or the
+            # request has already outlived its prediction by 50% (the model
+            # underestimated and the projection can no longer be trusted).
+            if projected_finish > req.deadline() or est_done_work > 1.5 * w_pred:
+                core.set_frequency(self.table.turbo)
+                self.boosts += 1

@@ -1,0 +1,141 @@
+"""ReTail (Chen et al., HPCA 2022): linear prediction + min-sufficient freq.
+
+Per the DeepPower paper's description (§2.2, §6): ReTail predicts each
+request's service time with a linear regression over request features and
+"selects the minimum frequency at which the execution of all requests in
+the queue will not result in a timeout", then executes the head request at
+that frequency.  The frequency of a request is decided once, when it begins
+processing (the coarse granularity DeepPower improves on).
+
+Queue feasibility at a candidate frequency ``f`` is checked with a FIFO
+drain model: with ``n`` workers all at ``f``, the request at queue position
+``k`` starts after roughly ``(W_head + sum of predicted work ahead) / (n f)``
+and must still meet its deadline.  If no sustained level works, turbo is
+used (ReTail's fallback to the highest level).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from ..cpu.core import Core
+from ..workload.request import Request
+from .base import PowerManager
+from .predictors import LinearServicePredictor, ServicePredictor, profile_app
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..experiments.runner import RunContext
+
+__all__ = ["RetailPolicy"]
+
+
+class RetailPolicy(PowerManager):
+    """ReTail power manager.
+
+    Parameters
+    ----------
+    ctx:
+        Run context.
+    predictor:
+        Fitted service predictor; by default a linear model is profiled
+        offline at ``profile_load`` (the static-load training the paper's
+        §3.1 criticises).
+    profile_load:
+        Utilisation at which offline profiling data is collected.
+    slack_margin:
+        Fraction of a request's remaining deadline budget the (padded)
+        predicted completion must fit into.
+    pad_sigma:
+        Prediction padding in units of the predictor's training-residual
+        standard deviation (ReTail budgets for error with quantiles of the
+        profiling residuals).
+    max_queue_scan:
+        Queue positions fed to the drain model (beyond this the queue is
+        already deep enough that turbo is the only sane answer).
+    overhead_us_physical:
+        Control-plane work charged to the serving core per request, in
+        *physical* microseconds (scaled by the app's time dilation).
+        ReTail's dot-product prediction is nearly free.
+    """
+
+    name = "retail"
+
+    def __init__(
+        self,
+        ctx: "RunContext",
+        predictor: Optional[ServicePredictor] = None,
+        profile_load: float = 0.5,
+        slack_margin: float = 0.75,
+        pad_sigma: float = 2.0,
+        max_queue_scan: int = 32,
+        overhead_us_physical: float = 2.0,
+    ) -> None:
+        super().__init__(ctx)
+        if predictor is None:
+            predictor = LinearServicePredictor()
+            feats, works = profile_app(
+                ctx.app, ctx.rngs.get("retail-profile"), n=2000, load=profile_load
+            )
+            predictor.fit(feats, works)
+        self.predictor = predictor
+        self.slack_margin = slack_margin
+        self.pad = pad_sigma * predictor.residual_std_
+        self.max_queue_scan = max_queue_scan
+        self.overhead_work = overhead_us_physical * 1e-6 * ctx.app.dilation * 2.1
+        self.freq_choices: list = []
+
+    # -------------------------------------------------------------------- hooks
+
+    def setup(self) -> None:
+        # Park everything low; per-request decisions raise what's needed.
+        self.cpu.set_all_frequencies(self.table.fmin)
+
+    def on_start(self, request: Request, core: Core) -> None:
+        f = self._select_frequency(request)
+        core.set_frequency(f)
+        self.freq_choices.append(f)
+        if self.overhead_work > 0.0:
+            self.worker_for_core(core).inflate_work(self.overhead_work)
+
+    # NOTE: no on_complete hook — ReTail decides frequency per request; an
+    # idle core keeps its last level until the next request resets it (the
+    # published system does not manage idle cores, which is part of why
+    # fine-grained control wins in the paper's Fig 9).
+
+    # ---------------------------------------------------------------- selection
+
+    def _select_frequency(self, request: Request) -> float:
+        """Closed-form minimum sufficient frequency.
+
+        The head must satisfy ``w_head / f <= margin * slack_head`` and the
+        queued request at position k (drained FIFO by n workers at f) must
+        satisfy ``(ahead_k / n + w_k) / f <= margin * slack_k``; each yields
+        a lower bound on f, and the answer is the smallest table level above
+        the max bound (turbo when it exceeds fmax).
+        """
+        now = self.engine.now
+        w_head = self.predictor.predict_one(request.features) + self.pad
+        slack_head = request.deadline() - now
+        if slack_head <= 0:
+            return self.table.turbo
+        f_needed = w_head / (self.slack_margin * slack_head)
+
+        queue = list(self.server.queue)
+        if len(queue) > self.max_queue_scan:
+            return self.table.turbo
+        if queue:
+            works = (
+                self.predictor.predict(np.stack([r.features for r in queue]))
+                + self.pad
+            )
+            n = self.server.num_workers
+            ahead = w_head + np.concatenate([[0.0], np.cumsum(works[:-1])])
+            slacks = np.array([max(r.deadline() - now, 1e-9) for r in queue])
+            bounds = (ahead / n + works) / (self.slack_margin * slacks)
+            f_needed = max(f_needed, float(bounds.max()))
+
+        if f_needed > self.table.fmax:
+            return self.table.turbo
+        return self.table.quantize(f_needed)

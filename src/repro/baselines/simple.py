@@ -1,0 +1,98 @@
+"""Trivial reference policies: no management, fixed frequency, oracle-ish.
+
+* :class:`MaxFrequencyPolicy` — the paper's "Baseline": full computing
+  ability, no power management.
+* :class:`FixedFrequencyPolicy` — everything pinned at one level (used by
+  the overhead experiment §5.5 and sensitivity sweeps).
+* :class:`UtilizationOraclePolicy` — a non-causal reference that reads the
+  workload trace directly and sets every core to the frequency that would
+  serve the *known* upcoming rate with a target headroom.  Not in the
+  paper; it bounds what any load-tracking policy could achieve and is used
+  by the ablation benches.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..sim.engine import PeriodicTask
+from .base import PowerManager
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..experiments.runner import RunContext
+
+__all__ = ["MaxFrequencyPolicy", "FixedFrequencyPolicy", "UtilizationOraclePolicy"]
+
+
+class MaxFrequencyPolicy(PowerManager):
+    """Paper baseline: every core at turbo, always."""
+
+    name = "baseline"
+
+    def __init__(self, ctx: "RunContext", use_turbo: bool = True) -> None:
+        super().__init__(ctx)
+        self.use_turbo = use_turbo
+
+    def setup(self) -> None:
+        f = self.table.turbo if self.use_turbo else self.table.fmax
+        self.cpu.set_all_frequencies(f)
+
+
+class FixedFrequencyPolicy(PowerManager):
+    """Every *worker* core pinned at ``freq`` (quantised) for the run;
+    non-worker cores stay parked by the managed-policy default."""
+
+    name = "fixed"
+
+    def __init__(self, ctx: "RunContext", freq: float) -> None:
+        super().__init__(ctx)
+        self.freq = freq
+
+    def setup(self) -> None:
+        for w in self.server.workers:
+            w.core.set_frequency(self.freq)
+
+
+class UtilizationOraclePolicy(PowerManager):
+    """Non-causal load tracker: perfect knowledge of the rate trace.
+
+    Every ``interval`` it reads the *true* arrival rate for the upcoming
+    window and sets all cores to the lowest frequency whose capacity keeps
+    utilisation below ``target_util`` (including the contention inflation
+    at that utilisation).  An upper reference point for Fig 7-style
+    comparisons: causal policies should land between the baseline and this.
+    """
+
+    name = "oracle"
+
+    def __init__(
+        self,
+        ctx: "RunContext",
+        target_util: float = 0.65,
+        interval: float = 1.0,
+    ) -> None:
+        super().__init__(ctx)
+        if not 0.0 < target_util <= 1.0:
+            raise ValueError("target_util must be in (0, 1]")
+        self.target_util = target_util
+        self.interval = interval
+        self._task: Optional[PeriodicTask] = None
+
+    def setup(self) -> None:
+        self._retarget()
+        self._task = self.engine.every(self.interval, self._retarget)
+
+    def teardown(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+
+    def _retarget(self) -> None:
+        rate = self.ctx.trace.rate_at(self.engine.now)
+        mean_work = self.ctx.app.service.expected_work()
+        inflation = 1.0 + self.ctx.app.contention * self.target_util
+        demand = rate * mean_work * inflation  # GHz-seconds per second
+        n = self.server.num_workers
+        needed = demand / (n * self.target_util) if n else self.table.fmin
+        freq = min(max(needed, self.table.fmin), self.table.turbo)
+        for w in self.server.workers:
+            w.core.set_frequency(freq)

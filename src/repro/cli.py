@@ -1,0 +1,145 @@
+"""Command-line interface.
+
+Examples
+--------
+List and run paper experiments::
+
+    deeppower list
+    deeppower experiment fig5
+    deeppower experiment fig7 --full
+
+Quick policy comparison on one app::
+
+    deeppower compare --app xapian --policies baseline,retail
+
+Train and save a DeepPower agent::
+
+    deeppower train --app xapian --episodes 20 --out agent.npz
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments.registry import get_experiment, list_experiments
+
+
+def _cmd_list(args) -> int:
+    for exp in list_experiments():
+        print(f"{exp.id:22s} {exp.description}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    exp = get_experiment(args.id)
+    kwargs = {}
+    if args.full:
+        kwargs["full"] = True
+    try:
+        print(exp.execute(**kwargs))
+    except TypeError:
+        # Some experiments (fig5, table2, overhead) take no `full` flag.
+        print(exp.execute())
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from .baselines import GeminiPolicy, MaxFrequencyPolicy, RetailPolicy
+    from .experiments.calibration import calibrate_to_sla
+    from .experiments.runner import run_policy
+    from .experiments.scenarios import active_profile, evaluation_trace, workers_for
+    from .workload.apps import get_app
+    from .analysis.reporting import format_table
+
+    factories = {
+        "baseline": lambda ctx: MaxFrequencyPolicy(ctx),
+        "retail": lambda ctx: RetailPolicy(ctx),
+        "gemini": lambda ctx: GeminiPolicy(ctx),
+    }
+    profile = active_profile(args.full)
+    app = get_app(args.app)
+    nw = workers_for(args.app, profile.num_cores)
+    cal = calibrate_to_sla(
+        app, evaluation_trace(profile), profile.num_cores, num_workers=nw
+    )
+    rows = []
+    for name in args.policies.split(","):
+        name = name.strip()
+        if name not in factories:
+            print(f"unknown policy {name!r}; choose from {sorted(factories)}", file=sys.stderr)
+            return 2
+        m = run_policy(
+            factories[name], app, cal.trace, profile.num_cores,
+            seed=args.seed, num_workers=nw,
+        ).metrics
+        rows.append(
+            [name, m.avg_power_watts, m.tail_latency * 1e3,
+             f"{m.tail_latency / app.sla:.2f}x", f"{m.timeout_rate:.2%}"]
+        )
+    print(format_table(["policy", "power(W)", "p99(ms)", "p99/SLA", "timeout"], rows, "{:.2f}"))
+    return 0
+
+
+def _cmd_train(args) -> int:
+    from .core import DeepPowerConfig, train_deeppower
+    from .experiments.calibration import calibrate_to_sla
+    from .experiments.fig7_main import tuned_agent_setup
+    from .experiments.scenarios import active_profile, evaluation_trace, workers_for
+    from .workload.apps import get_app
+
+    profile = active_profile(args.full)
+    app = get_app(args.app)
+    nw = workers_for(args.app, profile.num_cores)
+    cal = calibrate_to_sla(
+        app, evaluation_trace(profile), profile.num_cores, num_workers=nw
+    )
+    agent, cfg = tuned_agent_setup(args.seed)
+    result = train_deeppower(
+        app, cal.trace,
+        episodes=args.episodes if args.episodes else profile.train_episodes,
+        num_cores=profile.num_cores, seed=args.seed, agent=agent, config=cfg,
+        verbose=True,
+    )
+    agent.save(args.out)
+    print(f"saved trained agent to {args.out}")
+    print(f"final mean reward: {result.episodes[-1].mean_reward:.3f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(prog="deeppower", description=__doc__)
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sp = sub.add_parser("list", help="list available paper experiments")
+    sp.set_defaults(fn=_cmd_list)
+
+    sp = sub.add_parser("experiment", help="run one paper experiment by id")
+    sp.add_argument("id", help="experiment id, e.g. fig7, table2")
+    sp.add_argument("--full", action="store_true", help="full-scale profile")
+    sp.set_defaults(fn=_cmd_experiment)
+
+    sp = sub.add_parser("compare", help="compare policies on one app")
+    sp.add_argument("--app", default="xapian")
+    sp.add_argument("--policies", default="baseline,retail,gemini")
+    sp.add_argument("--seed", type=int, default=1)
+    sp.add_argument("--full", action="store_true")
+    sp.set_defaults(fn=_cmd_compare)
+
+    sp = sub.add_parser("train", help="train a DeepPower agent and save it")
+    sp.add_argument("--app", default="xapian")
+    sp.add_argument("--episodes", type=int, default=0, help="0 = profile default")
+    sp.add_argument("--seed", type=int, default=7)
+    sp.add_argument("--out", default="deeppower-agent.npz")
+    sp.add_argument("--full", action="store_true")
+    sp.set_defaults(fn=_cmd_train)
+    return p
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,165 @@
+"""DeepPower's reward function (paper §4.4.2).
+
+    R_total = -(alpha * R_energy + beta * R_timeout + gamma_q * R_queue)
+
+* ``R_energy`` — energy consumed over the previous step.  Normalised by the
+  socket's *dynamic* power range (all-busy-at-turbo minus all-idle-at-fmin)
+  so the term spans ~[0, 1] over the actionable range regardless of window
+  length, core count, or the constant package draw.  Without this, the
+  package constant compresses the energy signal and the agent gravitates
+  to the always-turbo corner.
+* ``R_timeout`` — requests that completed past their SLA in the window,
+  normalised by window arrivals (the paper's QoS constraint Eq. 2 is also a
+  fraction of RPS).
+* ``R_queue`` — queue-growth punishment gated by ``scaleFunc``:
+
+      R_queue      = scaleFunc(ql_t) * max(ql_t - ql_{t-1}, 0)
+      scaleFunc(x) = (x / eta) / (x / eta + eta / (x + eps))
+
+  ``scaleFunc`` is ~0 below the hyper-parameter ``eta`` and converges to 1
+  above it (paper Fig 5), so short queues grow unpunished while growth of an
+  already-long queue earns a large negative reward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..server.telemetry import TelemetrySnapshot
+
+__all__ = [
+    "scale_func",
+    "RewardConfig",
+    "RewardCalculator",
+    "RewardBreakdown",
+    "auto_eta_for",
+]
+
+
+def auto_eta_for(server) -> float:
+    """System-scaled ``scaleFunc`` threshold (see RewardConfig.eta)."""
+    return max(
+        1.0, server.num_workers * server.sla / (2.0 * server.app.mean_service_fmax)
+    )
+
+
+def scale_func(x, eta: float = 100.0, eps: float = 1e-6):
+    """Paper §4.4.2 gating function; accepts scalars or arrays.
+
+    ~0 for ``x`` well below ``eta``; -> 1 as ``x`` -> infinity; equals 0.5
+    near ``x ~ eta`` (the "change point" starred in Fig 5).
+    """
+    x = np.asarray(x, dtype=float)
+    if eta <= 0:
+        raise ValueError("eta must be positive")
+    num = x / eta
+    den = num + eta / (x + eps)
+    out = np.where(den > 0, num / den, 0.0)
+    return float(out) if out.ndim == 0 else out
+
+
+@dataclass
+class RewardConfig:
+    """Weights and hyper-parameters of the total reward."""
+
+    alpha: float = 1.0  # energy weight
+    beta: float = 10.0  # timeout weight
+    gamma_q: float = 0.5  # queue-growth weight
+    #: scaleFunc threshold.  The paper's Fig 5 uses 100 on a 20-core,
+    #: thousands-of-RPS testbed; None auto-scales it to the system as the
+    #: queue length whose FIFO drain time is half the SLA
+    #: (``workers * SLA / (2 * mean_service)``), preserving the semantics
+    #: "punish growth only once the backlog threatens the deadline".
+    eta: Optional[float] = None
+    eps: float = 1e-6
+    #: Cap on the (scaled) queue-growth term so one flash burst cannot wipe
+    #: out the learning signal of the other terms.
+    queue_term_cap: float = 5.0
+
+
+@dataclass(frozen=True)
+class RewardBreakdown:
+    """Total reward plus its components (useful for ablations/diagnostics)."""
+
+    total: float
+    energy_term: float
+    timeout_term: float
+    queue_term: float
+
+
+class RewardCalculator:
+    """Stateful reward evaluator (remembers the previous queue length).
+
+    Parameters
+    ----------
+    config:
+        Term weights and ``scaleFunc`` hyper-parameters.
+    max_power_watts:
+        Socket draw with every core busy at turbo.
+    min_power_watts:
+        Socket draw with every core idle at fmin; the energy term is the
+        window's average power mapped affinely from [min, max] to [0, 1].
+    """
+
+    def __init__(
+        self,
+        config: Optional[RewardConfig] = None,
+        max_power_watts: float = 1.0,
+        min_power_watts: float = 0.0,
+        auto_eta: float = 100.0,
+    ) -> None:
+        self.cfg = config or RewardConfig()
+        if max_power_watts <= min_power_watts:
+            raise ValueError("need max_power_watts > min_power_watts")
+        self.max_power_watts = max_power_watts
+        self.min_power_watts = min_power_watts
+        self.eta = self.cfg.eta if self.cfg.eta is not None else max(auto_eta, 1.0)
+        self._prev_queue_len: Optional[int] = None
+
+    def compute(
+        self, snapshot: TelemetrySnapshot, window_energy_joules: float
+    ) -> RewardBreakdown:
+        """Reward for the step summarised by ``snapshot``.
+
+        Parameters
+        ----------
+        snapshot:
+            Telemetry for the window just ended.
+        window_energy_joules:
+            RAPL energy delta over the same window.
+        """
+        cfg = self.cfg
+        window = max(snapshot.window, 1e-12)
+        avg_power = window_energy_joules / window
+        r_energy = float(
+            np.clip(
+                (avg_power - self.min_power_watts)
+                / (self.max_power_watts - self.min_power_watts),
+                0.0,
+                1.0,
+            )
+        )
+        r_timeout = snapshot.timeouts / max(1, snapshot.num_req)
+
+        ql = snapshot.queue_len
+        prev = self._prev_queue_len if self._prev_queue_len is not None else ql
+        growth = max(ql - prev, 0)
+        r_queue = min(
+            float(scale_func(ql, self.eta, cfg.eps)) * growth, cfg.queue_term_cap
+        )
+        self._prev_queue_len = ql
+
+        total = -(cfg.alpha * r_energy + cfg.beta * r_timeout + cfg.gamma_q * r_queue)
+        return RewardBreakdown(
+            total=total,
+            energy_term=r_energy,
+            timeout_term=r_timeout,
+            queue_term=r_queue,
+        )
+
+    def reset(self) -> None:
+        """Forget the previous queue length (episode boundary)."""
+        self._prev_queue_len = None

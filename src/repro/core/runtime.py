@@ -1,0 +1,187 @@
+"""The DeepPower hierarchical control runtime (paper Fig 3 + Algorithm 2).
+
+Wires together the five framework components around a running server:
+
+* state observer  — telemetry -> normalised state (①)
+* DRL agent       — state -> (BaseFreq, ScalingCoef) action (②)
+* thread controller — fine-grained per-core frequency scaling (③)
+* reward calculator — telemetry + RAPL energy -> reward (④⑤)
+* replay + training — transitions pushed and sampled each step (⑥⑦)
+
+The agent acts every ``LongTime`` (default 1 s); the controller ticks every
+``ShortTime`` (default 1 ms, per-app).  In training mode each DRL step also
+performs one DDPG update; in evaluation mode the loaded policy runs
+deterministically (no noise, no updates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..cpu.rapl import PowerMonitor
+from ..server.server import Server
+from ..sim.engine import Engine, PeriodicTask
+from ..sim.events import PRIORITY_CONTROL
+from .agent import DeepPowerAgent
+from .reward import RewardBreakdown, RewardCalculator, RewardConfig, auto_eta_for
+from .state_observer import StateObserver
+from .thread_controller import ThreadController
+
+__all__ = ["DeepPowerConfig", "StepRecord", "DeepPowerRuntime"]
+
+
+@dataclass
+class DeepPowerConfig:
+    """Framework-level knobs (paper §4.6 defaults)."""
+
+    #: DRL decision interval, seconds (paper ``LongTime`` = 1 s).
+    long_time: float = 1.0
+    #: Controller tick, seconds; None -> the app profile's ``short_time``.
+    short_time: Optional[float] = None
+    reward: RewardConfig = field(default_factory=RewardConfig)
+    #: Record per-step history (state/action/reward/power) for figures.
+    record_steps: bool = True
+    #: Record the controller's per-tick frequency trace (figures only).
+    record_freq_trace: bool = False
+    #: Train the networks online (Algorithm 2); False = evaluation mode.
+    train: bool = True
+    #: DDPG updates per DRL step while training.
+    updates_per_step: int = 1
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """Diagnostics for one DRL step (drives Fig 8's time series)."""
+
+    time: float
+    state: np.ndarray
+    action: np.ndarray
+    reward: Optional[RewardBreakdown]
+    power_watts: float
+    rps: float
+    queue_len: int
+    timeouts: int
+    avg_frequency: float
+
+
+class DeepPowerRuntime:
+    """Attach DeepPower to a server and drive the two control loops."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        server: Server,
+        monitor: PowerMonitor,
+        agent: DeepPowerAgent,
+        config: Optional[DeepPowerConfig] = None,
+    ) -> None:
+        self.engine = engine
+        self.server = server
+        self.monitor = monitor
+        self.agent = agent
+        self.cfg = config or DeepPowerConfig()
+        self.controller = ThreadController(
+            engine,
+            server,
+            short_time=self.cfg.short_time,
+            record_trace=self.cfg.record_freq_trace,
+        )
+        self.observer = StateObserver(
+            num_workers=server.num_workers, window=self.cfg.long_time
+        )
+        pm, table, n = server.cpu.power_model, server.cpu.table, server.cpu.num_cores
+        max_power = pm.socket_power(
+            np.full(n, table.turbo), np.ones(n, dtype=bool)
+        )
+        min_power = pm.socket_power(
+            np.full(n, table.fmin), np.zeros(n, dtype=bool)
+        )
+        self.reward_calc = RewardCalculator(
+            self.cfg.reward,
+            max_power_watts=max_power,
+            min_power_watts=min_power,
+            auto_eta=auto_eta_for(server),
+        )
+        self.records: List[StepRecord] = []
+        self.step_count = 0
+        self._prev: Optional[tuple] = None
+        self._task: Optional[PeriodicTask] = None
+        self._last_losses: Optional[dict] = None
+
+    # ----------------------------------------------------------------- control
+
+    def start(self) -> None:
+        """Algorithm 2 lines 1-2: start both loops and take the first action."""
+        self.controller.start()
+        snap = self.server.telemetry.snapshot()  # empty initial window
+        self.monitor.window_energy()  # zero the energy window
+        s1 = self.observer.observe(snap)
+        a1 = self.agent.act(s1, explore=self.cfg.train)
+        self.controller.set_params(a1[0], a1[1])
+        self._prev = (s1, a1)
+        self._task = self.engine.every(
+            self.cfg.long_time, self._drl_step, priority=PRIORITY_CONTROL + 1
+        )
+
+    def stop(self) -> None:
+        self.controller.stop()
+        if self._task is not None:
+            self._task.stop()
+
+    # ------------------------------------------------------------------- steps
+
+    def _drl_step(self) -> None:
+        """Algorithm 2 lines 9-18: one observe/reward/act/train cycle."""
+        snap = self.server.telemetry.snapshot()
+        energy = self.monitor.window_energy()
+        rb = self.reward_calc.compute(snap, energy)
+        s_next = self.observer.observe(snap)
+
+        if self._prev is not None:
+            s_prev, a_prev = self._prev
+            self.agent.observe(s_prev, a_prev, rb.total, s_next, done=False)
+            if self.cfg.train:
+                for _ in range(self.cfg.updates_per_step):
+                    self._last_losses = self.agent.update() or self._last_losses
+
+        action = self.agent.act(s_next, explore=self.cfg.train)
+        self.controller.set_params(action[0], action[1])
+        self._prev = (s_next, action)
+        self.step_count += 1
+
+        if self.cfg.record_steps:
+            window = max(snap.window, 1e-12)
+            freqs = self.server.cpu.frequencies()[: self.server.num_workers]
+            self.records.append(
+                StepRecord(
+                    time=snap.time,
+                    state=s_next,
+                    action=action.copy(),
+                    reward=rb,
+                    power_watts=energy / window,
+                    rps=snap.num_req / window,
+                    queue_len=snap.queue_len,
+                    timeouts=snap.timeouts,
+                    avg_frequency=float(freqs.mean()),
+                )
+            )
+
+    # ------------------------------------------------------------------- views
+
+    @property
+    def last_losses(self) -> Optional[dict]:
+        """Most recent DDPG update diagnostics (None before first update)."""
+        return self._last_losses
+
+    def reward_history(self) -> np.ndarray:
+        """Total reward per recorded step."""
+        return np.array([r.reward.total for r in self.records if r.reward])
+
+    def action_history(self) -> np.ndarray:
+        """(steps, 2) array of (BaseFreq, ScalingCoef) actions."""
+        if not self.records:
+            return np.zeros((0, 2))
+        return np.stack([r.action for r in self.records])

@@ -1,0 +1,94 @@
+"""State observer: telemetry -> normalised 8-dim DRL state (paper §4.4.1).
+
+The state is ``(NumReq, QueueLen, Queue25, Queue50, Queue75, Core25,
+Core50, Core75)``.  The paper's observer "produces a normalized state
+vector"; absolute scales differ per app and load, so normalisation is
+adaptive: each dimension is divided by a running maximum (never below a
+floor), keeping every component in [0, 1] without per-app feature
+engineering — which is precisely the generality claim DeepPower makes over
+ReTail/Gemini.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..server.telemetry import TelemetrySnapshot
+
+__all__ = ["StateObserver", "STATE_DIM"]
+
+#: Dimensionality of the DeepPower state vector.
+STATE_DIM = 8
+
+
+class StateObserver:
+    """Normalises raw telemetry into the agent's state space.
+
+    Parameters
+    ----------
+    num_workers:
+        Worker-thread count: the CoreX features are bounded by it, so it
+        seeds their normaliser.
+    expected_peak_rps:
+        Optional prior for the NumReq normaliser (e.g. the trace's peak RPS
+        times the window).  Without it the running max adapts from data.
+    decay:
+        Per-observation decay of the running maxima, letting the normaliser
+        track a workload whose scale shrinks (1.0 = pure running max).
+    """
+
+    def __init__(
+        self,
+        num_workers: int,
+        expected_peak_rps: Optional[float] = None,
+        window: float = 1.0,
+        decay: float = 1.0,
+    ) -> None:
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        if not 0.0 < decay <= 1.0:
+            raise ValueError("decay must be in (0, 1]")
+        self.num_workers = num_workers
+        self.decay = decay
+        num_req_floor = (
+            expected_peak_rps * window if expected_peak_rps else float(num_workers)
+        )
+        # Floors: NumReq, QueueLen, Queue25/50/75, Core25/50/75.
+        self._max = np.array(
+            [
+                max(num_req_floor, 1.0),
+                float(num_workers),
+                float(num_workers),
+                float(num_workers),
+                float(num_workers),
+                float(num_workers),
+                float(num_workers),
+                float(num_workers),
+            ]
+        )
+        self._floor = self._max.copy()
+        self.history: List[np.ndarray] = []
+        self.raw_history: List[np.ndarray] = []
+        self.keep_history = False
+
+    def observe(self, snapshot: TelemetrySnapshot) -> np.ndarray:
+        """Convert one telemetry snapshot into a normalised state vector."""
+        raw = snapshot.state_vector()
+        if raw.shape != (STATE_DIM,):
+            raise ValueError(f"expected {STATE_DIM}-dim telemetry, got {raw.shape}")
+        if self.decay < 1.0:
+            self._max = np.maximum(self._max * self.decay, self._floor)
+        self._max = np.maximum(self._max, raw)
+        state = np.clip(raw / self._max, 0.0, 1.0)
+        if self.keep_history:
+            self.history.append(state)
+            self.raw_history.append(raw)
+        return state
+
+    def reset(self) -> None:
+        """Reset normalisers to their floors (new workload)."""
+        self._max = self._floor.copy()
+        self.history.clear()
+        self.raw_history.clear()

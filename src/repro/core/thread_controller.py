@@ -1,0 +1,164 @@
+"""The bottom layer of DeepPower's hierarchy: the thread controller.
+
+Paper Algorithm 1, executed every ``ShortTime`` (default 1 ms):
+
+    for each worker thread i:
+        consumed = (now - beginTimes[i]) / SLA
+        score    = consumed * ScalingCoef + BaseFreq
+        if score >= 1:  set core i to turbo
+        else:           set core i to fmin + (fmax - fmin) * score
+
+An idle core has no begin time; consumed is 0 and the core runs at the
+BaseFreq-interpolated frequency (visible in the paper's Fig 4, where the
+frequency floor between requests tracks BaseFreq).  The score grows linearly
+with the time a request has been executing, so short requests finish at low
+frequency while long (tail) requests are progressively accelerated up to
+turbo — the gradual ramp that distinguishes DeepPower from per-request
+frequency selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..server.server import Server
+from ..sim.engine import Engine, PeriodicTask
+from ..sim.events import PRIORITY_CONTROL
+
+__all__ = ["ThreadController", "FrequencyTracePoint"]
+
+
+@dataclass(frozen=True)
+class FrequencyTracePoint:
+    """One controller tick's record (per-core), for Figs 4/9/10/11."""
+
+    time: float
+    frequencies: np.ndarray
+    scores: np.ndarray
+    base_freq: float
+    scaling_coef: float
+
+
+class ThreadController:
+    """Per-core frequency scaler driven by ``(BaseFreq, ScalingCoef)``.
+
+    Parameters
+    ----------
+    engine, server:
+        The simulation engine and the server whose workers are controlled.
+        Each worker is pinned to one core; the controller scales exactly
+        those cores.
+    short_time:
+        Tick interval (paper ``ShortTime``); defaults to the app profile's.
+    record_trace:
+        Keep a per-tick frequency trace (memory-heavy; figures only).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        server: Server,
+        short_time: Optional[float] = None,
+        record_trace: bool = False,
+    ) -> None:
+        self.engine = engine
+        self.server = server
+        self.table = server.cpu.table
+        self.sla = server.sla
+        self.short_time = short_time if short_time is not None else server.app.short_time
+        if self.short_time <= 0:
+            raise ValueError("short_time must be positive")
+        self.base_freq = 1.0
+        self.scaling_coef = 0.0
+        self.record_trace = record_trace
+        self.trace: List[FrequencyTracePoint] = []
+        self._task: Optional[PeriodicTask] = None
+        self.tick_count = 0
+        # Precomputed span for the score -> frequency interpolation.
+        self._fmin = self.table.fmin
+        self._fspan = self.table.fmax - self.table.fmin
+        self._turbo = self.table.turbo
+
+    # ----------------------------------------------------------------- control
+
+    def set_params(self, base_freq: float, scaling_coef: float) -> None:
+        """Update the two DRL-provided parameters (both clipped to [0, 1])."""
+        self.base_freq = float(np.clip(base_freq, 0.0, 1.0))
+        self.scaling_coef = float(np.clip(scaling_coef, 0.0, 1.0))
+
+    def start(self) -> None:
+        """Begin ticking every ``short_time`` (idempotent).
+
+        Cores hosting no worker thread are parked at fmin: the controller
+        manages worker cores only (paper: workers on socket 0, support
+        threads elsewhere).
+        """
+        for core in self.server.cpu.cores[self.server.num_workers :]:
+            core.set_frequency(self.table.fmin)
+        if self._task is None or self._task.stopped:
+            self._task = self.engine.every(
+                self.short_time, self.tick, start_delay=0.0, priority=PRIORITY_CONTROL
+            )
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+
+    # -------------------------------------------------------------------- tick
+
+    def scores(self, now: float) -> np.ndarray:
+        """Algorithm 1 lines 4-5 for every worker core (vectorised)."""
+        begins = self.server.begin_times()
+        consumed = np.array(
+            [0.0 if b is None else (now - b) / self.sla for b in begins]
+        )
+        return consumed * self.scaling_coef + self.base_freq
+
+    def frequency_for_score(self, score: float) -> float:
+        """Algorithm 1 lines 6-10 for one score value."""
+        if score >= 1.0:
+            return self._turbo
+        return self.table.quantize(self._fmin + self._fspan * score)
+
+    def tick(self) -> None:
+        """One controller pass over all worker cores."""
+        now = self.engine.now
+        sc = self.scores(now)
+        self.tick_count += 1
+        workers = self.server.workers
+        applied = np.empty(len(workers))
+        for i, w in enumerate(workers):
+            s = sc[i]
+            if s >= 1.0:
+                applied[i] = w.core.set_frequency(self._turbo)
+            else:
+                applied[i] = w.core.set_frequency(self._fmin + self._fspan * s)
+        if self.record_trace:
+            self.trace.append(
+                FrequencyTracePoint(
+                    time=now,
+                    frequencies=applied,
+                    scores=sc,
+                    base_freq=self.base_freq,
+                    scaling_coef=self.scaling_coef,
+                )
+            )
+
+    # ------------------------------------------------------------------ traces
+
+    def clear_trace(self) -> None:
+        self.trace.clear()
+
+    def trace_arrays(self):
+        """``(times, freq_matrix)`` from the recorded trace.
+
+        ``freq_matrix`` has shape (ticks, num_workers).
+        """
+        if not self.trace:
+            return np.zeros(0), np.zeros((0, len(self.server.workers)))
+        times = np.array([p.time for p in self.trace])
+        freqs = np.stack([p.frequencies for p in self.trace])
+        return times, freqs

@@ -1,0 +1,165 @@
+"""Training and evaluation entry points for DeepPower (paper §5.2 workflow).
+
+The paper trains the agent online against a long-running workload, saves
+the network parameters, then evaluates the frozen policy on a short
+workload.  :func:`train_deeppower` runs E episodes of a trace (fresh
+simulated stack per episode, shared agent and replay pool — the standard
+episodic-training arrangement for a system that must be restartable), and
+:func:`evaluate_deeppower` replays the policy deterministically.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..experiments.runner import RunResult
+
+from ..server.metrics import RunMetrics
+from ..sim.rng import RngRegistry
+from ..workload.apps import AppSpec
+from ..workload.trace import WorkloadTrace
+from .agent import DeepPowerAgent, default_ddpg_config
+from .runtime import DeepPowerConfig, DeepPowerRuntime
+
+__all__ = ["EpisodeStats", "TrainingResult", "train_deeppower", "evaluate_deeppower"]
+
+
+@dataclass(frozen=True)
+class EpisodeStats:
+    """Summary of one training episode."""
+
+    episode: int
+    total_reward: float
+    mean_reward: float
+    timeout_rate: float
+    avg_power_watts: float
+    tail_latency: float
+    completed: int
+
+
+@dataclass
+class TrainingResult:
+    """Everything :func:`train_deeppower` produces."""
+
+    agent: DeepPowerAgent
+    episodes: List[EpisodeStats] = field(default_factory=list)
+
+    def reward_curve(self) -> np.ndarray:
+        return np.array([e.mean_reward for e in self.episodes])
+
+    def improved(self) -> bool:
+        """Crude learning check: late-half mean reward beats early-half."""
+        curve = self.reward_curve()
+        if curve.size < 2:
+            return False
+        half = curve.size // 2
+        return float(curve[half:].mean()) >= float(curve[:half].mean())
+
+
+def _make_runtime_factory(agent: DeepPowerAgent, config: DeepPowerConfig):
+    def factory(ctx):
+        return DeepPowerRuntime(ctx.engine, ctx.server, ctx.monitor, agent, config)
+
+    return factory
+
+
+def _runtime_extras(ctx, driver):
+    return {
+        "records": driver.records,
+        "freq_trace": driver.controller.trace,
+        "controller": driver.controller,
+        "runtime": driver,
+    }
+
+
+def train_deeppower(
+    app: AppSpec,
+    trace: WorkloadTrace,
+    episodes: int = 10,
+    num_cores: int = 4,
+    seed: int = 0,
+    agent: Optional[DeepPowerAgent] = None,
+    config: Optional[DeepPowerConfig] = None,
+    verbose: bool = False,
+) -> TrainingResult:
+    """Train a DeepPower agent over repeated plays of ``trace``.
+
+    Each episode uses a distinct arrival random stream (``seed`` offset by
+    the episode index) so the agent sees stochastic variation of the same
+    diurnal pattern, as a live system would across days.
+    """
+    from ..experiments.runner import run_policy  # deferred: avoids core->experiments cycle
+
+    if episodes <= 0:
+        raise ValueError("episodes must be positive")
+    rngs = RngRegistry(seed)
+    if agent is None:
+        agent = DeepPowerAgent(rngs.get("agent"), default_ddpg_config())
+    cfg = copy.copy(config) if config is not None else DeepPowerConfig()
+    cfg.train = True
+
+    result = TrainingResult(agent=agent)
+    factory = _make_runtime_factory(agent, cfg)
+    for ep in range(episodes):
+        run = run_policy(
+            factory,
+            app,
+            trace,
+            num_cores,
+            seed=seed * 10_000 + ep + 1,
+            extras_fn=_runtime_extras,
+        )
+        rewards = np.array(
+            [r.reward.total for r in run.extras["records"] if r.reward is not None]
+        )
+        stats = EpisodeStats(
+            episode=ep,
+            total_reward=float(rewards.sum()) if rewards.size else 0.0,
+            mean_reward=float(rewards.mean()) if rewards.size else 0.0,
+            timeout_rate=run.metrics.timeout_rate,
+            avg_power_watts=run.metrics.avg_power_watts,
+            tail_latency=run.metrics.tail_latency,
+            completed=run.metrics.completed,
+        )
+        result.episodes.append(stats)
+        if verbose:  # pragma: no cover - console convenience
+            print(
+                f"episode {ep:3d}: reward {stats.mean_reward:8.4f}  "
+                f"power {stats.avg_power_watts:6.1f} W  "
+                f"p99 {stats.tail_latency * 1e3:7.1f} ms  "
+                f"timeout {stats.timeout_rate:6.2%}"
+            )
+    return result
+
+
+def evaluate_deeppower(
+    agent: DeepPowerAgent,
+    app: AppSpec,
+    trace: WorkloadTrace,
+    num_cores: int = 4,
+    seed: int = 12345,
+    config: Optional[DeepPowerConfig] = None,
+    keep_requests: bool = False,
+    record_freq_trace: bool = False,
+) -> "RunResult":
+    """Run a frozen DeepPower policy (no exploration, no updates)."""
+    from ..experiments.runner import run_policy  # deferred: avoids core->experiments cycle
+
+    cfg = copy.copy(config) if config is not None else DeepPowerConfig()
+    cfg.train = False
+    cfg.record_freq_trace = record_freq_trace
+    factory = _make_runtime_factory(agent, cfg)
+    return run_policy(
+        factory,
+        app,
+        trace,
+        num_cores,
+        seed=seed,
+        keep_requests=keep_requests,
+        extras_fn=_runtime_extras,
+    )

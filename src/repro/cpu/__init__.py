@@ -1,0 +1,44 @@
+"""Multicore CPU substrate: DVFS frequency table, cores, power model, RAPL.
+
+Replaces the paper's physical testbed (Intel Xeon Gold 5218R with the
+``userspace`` cpufreq governor and RAPL energy counters) with an exact-
+accounting simulated socket.  See DESIGN.md §2 for the substitution
+rationale.
+"""
+
+from .core import Core
+from .cstates import DEFAULT_CSTATES, CState, CStateTable, IdleGovernor
+from .dvfs import DEFAULT_TABLE, FrequencyTable
+from .governors import (
+    ConservativeGovernor,
+    Governor,
+    OndemandGovernor,
+    PerformanceGovernor,
+    PowersaveGovernor,
+    UserspaceGovernor,
+)
+from .power import DEFAULT_POWER_MODEL, PowerModel
+from .rapl import EnergySample, PowerMonitor
+from .topology import Cpu, dual_socket
+
+__all__ = [
+    "Core",
+    "CState",
+    "CStateTable",
+    "IdleGovernor",
+    "DEFAULT_CSTATES",
+    "FrequencyTable",
+    "DEFAULT_TABLE",
+    "PowerModel",
+    "DEFAULT_POWER_MODEL",
+    "Cpu",
+    "dual_socket",
+    "PowerMonitor",
+    "EnergySample",
+    "Governor",
+    "PerformanceGovernor",
+    "PowersaveGovernor",
+    "UserspaceGovernor",
+    "OndemandGovernor",
+    "ConservativeGovernor",
+]

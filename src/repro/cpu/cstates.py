@@ -1,0 +1,178 @@
+"""Idle C-state model (extension: the paper's explicitly-deferred future work).
+
+The paper's related-work section discusses sleep-state techniques
+(DynSleep, uDPM) and notes that "the integration of sleep states into our
+methods represents a significant challenge.  We leave this to future
+work."  This module supplies the substrate for that extension: a table of
+idle states with per-state power and wake latency, plus a per-core idle
+governor that demotes an idle core through progressively deeper states the
+longer it stays idle (the menu-governor idea) and charges the wake-up
+latency to the next request.
+
+Used by :class:`repro.baselines.dynsleep.DynSleepPolicy` and the
+sleep-state ablation bench; the core DeepPower reproduction leaves
+C-states off, exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..sim.engine import Engine
+from .core import Core
+
+__all__ = ["CState", "CStateTable", "IdleGovernor", "DEFAULT_CSTATES"]
+
+
+@dataclass(frozen=True)
+class CState:
+    """One idle state.
+
+    Parameters
+    ----------
+    name:
+        e.g. ``C1``/``C6``.
+    power_watts:
+        Core draw while resident in the state.
+    wake_latency:
+        Seconds to return to the active state (paper: ~100 us for C6).
+    target_residency:
+        Minimum expected idle time for the state to pay off; the idle
+        governor demotes to this state only after the core has been idle
+        this long.
+    """
+
+    name: str
+    power_watts: float
+    wake_latency: float
+    target_residency: float
+
+
+@dataclass(frozen=True)
+class CStateTable:
+    """Ordered idle states, shallow to deep."""
+
+    states: Tuple[CState, ...]
+
+    def __post_init__(self) -> None:
+        if not self.states:
+            raise ValueError("need at least one C-state")
+        lat = [s.wake_latency for s in self.states]
+        res = [s.target_residency for s in self.states]
+        pwr = [s.power_watts for s in self.states]
+        if lat != sorted(lat) or res != sorted(res):
+            raise ValueError("states must be ordered shallow -> deep")
+        if pwr != sorted(pwr, reverse=True):
+            raise ValueError("deeper states must draw less power")
+
+    def deepest_for_idle(self, idle_so_far: float) -> Optional[CState]:
+        """Deepest state whose target residency has been met (None: stay C0)."""
+        best = None
+        for s in self.states:
+            if idle_so_far >= s.target_residency:
+                best = s
+        return best
+
+    def __iter__(self):
+        return iter(self.states)
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+
+#: Latencies/powers shaped after Intel core C-states (C1/C1E/C6).
+DEFAULT_CSTATES = CStateTable(
+    states=(
+        CState("C1", power_watts=0.30, wake_latency=2e-6, target_residency=5e-6),
+        CState("C1E", power_watts=0.20, wake_latency=1e-5, target_residency=5e-5),
+        CState("C6", power_watts=0.05, wake_latency=1e-4, target_residency=6e-4),
+    )
+)
+
+
+class IdleGovernor:
+    """Menu-style idle-state manager for one core.
+
+    The owner signals ``enter_idle()`` when the core goes idle and
+    ``wake()`` when work arrives.  While idle, the governor demotes the
+    core through the C-state table as residency thresholds pass; energy
+    is accounted by *overriding* the core's idle power with the state's
+    power (bookkept here, since :class:`~repro.cpu.core.Core` meters
+    clock-gated idle only).
+
+    ``wake()`` returns the wake latency the caller must charge before the
+    core can execute (DynSleep's central trade-off).
+    """
+
+    def __init__(self, engine: Engine, core: Core, table: CStateTable = DEFAULT_CSTATES) -> None:
+        self.engine = engine
+        self.core = core
+        self.table = table
+        self._idle_since: Optional[float] = None
+        self._state: Optional[CState] = None
+        self._promote_events: List = []
+        #: Joules saved relative to clock-gated idle (diagnostics).
+        self.energy_saved = 0.0
+        self._state_entered_at = 0.0
+        self.wake_count = 0
+        self.residency: dict = {s.name: 0.0 for s in table}
+
+    # ------------------------------------------------------------------ state
+
+    @property
+    def state(self) -> Optional[CState]:
+        """Current idle state (None = C0/active)."""
+        return self._state
+
+    def enter_idle(self) -> None:
+        """Core went idle; start demotion timers."""
+        if self._idle_since is not None:
+            return
+        now = self.engine.now
+        self._idle_since = now
+        for s in self.table:
+            delay = s.target_residency
+            self._promote_events.append(
+                self.engine.schedule_after(delay, self._demote_to, s)
+            )
+
+    def wake(self) -> float:
+        """Work arrived: leave the idle state; returns wake latency (s)."""
+        latency = self._state.wake_latency if self._state is not None else 0.0
+        self._settle_residency()
+        self._idle_since = None
+        self._state = None
+        for ev in self._promote_events:
+            self.engine.cancel(ev)
+        self._promote_events.clear()
+        if latency > 0.0:
+            self.wake_count += 1
+        return latency
+
+    # ---------------------------------------------------------------- internal
+
+    def _demote_to(self, state: CState) -> None:
+        if self._idle_since is None:
+            return
+        self._settle_residency()
+        self._state = state
+        self._state_entered_at = self.engine.now
+
+    def _settle_residency(self) -> None:
+        if self._state is None:
+            return
+        now = self.engine.now
+        dt = now - self._state_entered_at
+        if dt > 0:
+            self.residency[self._state.name] += dt
+            idle_power = self.core.power_model.core_power(self.core.frequency, busy=False)
+            self.energy_saved += max(idle_power - self._state.power_watts, 0.0) * dt
+        self._state_entered_at = now
+
+    def idle_energy_credit(self) -> float:
+        """Total joules saved vs clock-gated idle so far."""
+        self._settle_residency()
+        if self._state is not None:
+            self._state_entered_at = self.engine.now
+        return self.energy_saved

@@ -1,0 +1,130 @@
+"""DVFS frequency table: discrete P-state levels plus turbo.
+
+Mirrors the control surface exposed by the Linux ``userspace`` cpufreq
+governor used in the paper (Intel Xeon Gold 5218R: 0.8–2.1 GHz in 100 MHz
+steps, plus turbo).  Policies request an arbitrary frequency; the table
+quantises it to a supported level, exactly as ``scaling_setspeed`` snaps to
+the ACPI P-state table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["FrequencyTable", "DEFAULT_TABLE"]
+
+
+@dataclass(frozen=True)
+class FrequencyTable:
+    """Discrete DVFS levels in GHz.
+
+    Parameters
+    ----------
+    fmin, fmax:
+        Lowest / highest *sustained* (non-turbo) frequency, GHz.
+    step:
+        P-state granularity, GHz.
+    turbo:
+        Opportunistic boost frequency, GHz.  ``turbo > fmax``.
+
+    Examples
+    --------
+    >>> t = FrequencyTable()
+    >>> t.fmin, t.fmax, t.turbo
+    (0.8, 2.1, 3.0)
+    >>> t.quantize(1.234)
+    1.3
+    >>> t.quantize(5.0)   # clamped to turbo
+    3.0
+    >>> t.from_score(0.5)   # linear interpolation fmin..fmax
+    1.5
+    """
+
+    fmin: float = 0.8
+    fmax: float = 2.1
+    step: float = 0.1
+    turbo: float = 3.0
+    levels: tuple = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not (0 < self.fmin < self.fmax < self.turbo):
+            raise ValueError(
+                f"need 0 < fmin < fmax < turbo, got "
+                f"({self.fmin}, {self.fmax}, {self.turbo})"
+            )
+        if self.step <= 0:
+            raise ValueError(f"step must be > 0, got {self.step}")
+        n = int(round((self.fmax - self.fmin) / self.step))
+        lv = [round(self.fmin + i * self.step, 9) for i in range(n + 1)]
+        if abs(lv[-1] - self.fmax) > 1e-9:
+            lv.append(self.fmax)
+        lv.append(self.turbo)
+        object.__setattr__(self, "levels", tuple(lv))
+
+    # ------------------------------------------------------------------ props
+
+    @property
+    def num_levels(self) -> int:
+        """Number of selectable levels (P-states + turbo)."""
+        return len(self.levels)
+
+    @property
+    def sustained_levels(self) -> tuple:
+        """Levels excluding turbo."""
+        return self.levels[:-1]
+
+    # ------------------------------------------------------------- conversion
+
+    def quantize(self, freq: float) -> float:
+        """Snap ``freq`` (GHz) to the nearest-not-below supported level.
+
+        Values above ``fmax`` but below ``turbo`` round up to ``turbo`` only
+        if they exceed ``fmax``; the paper's controller only ever requests
+        turbo explicitly (score >= 1), so we *ceil* within the sustained
+        range to guarantee the requested compute capacity.
+        """
+        if freq <= self.fmin:
+            return self.levels[0]
+        if freq >= self.turbo:
+            return self.turbo
+        if freq > self.fmax:
+            return self.fmax
+        # ceil to the next step boundary above fmin
+        idx = int(np.ceil((freq - self.fmin) / self.step - 1e-9))
+        idx = min(idx, len(self.levels) - 2)
+        return self.levels[idx]
+
+    def quantize_array(self, freqs: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`quantize` over an array of GHz values."""
+        f = np.asarray(freqs, dtype=float)
+        idx = np.ceil((f - self.fmin) / self.step - 1e-9).astype(int)
+        idx = np.clip(idx, 0, len(self.levels) - 2)
+        out = np.asarray(self.levels)[idx]
+        out = np.where(f > self.fmax, self.fmax, out)
+        out = np.where(f >= self.turbo, self.turbo, out)
+        return out
+
+    def from_score(self, score: float) -> float:
+        """Paper Algorithm 1 line 9: ``fmin + (fmax - fmin) * score``.
+
+        ``score`` is expected in [0, 1); values >= 1 mean "turbo" and are the
+        caller's responsibility (the thread controller branches before
+        calling this).
+        """
+        return self.fmin + (self.fmax - self.fmin) * score
+
+    def index_of(self, freq: float) -> int:
+        """Index of an exact level; raises ValueError if not a table entry."""
+        for i, lv in enumerate(self.levels):
+            if abs(lv - freq) < 1e-9:
+                return i
+        raise ValueError(f"{freq} is not a level of {self}")
+
+    def __contains__(self, freq: float) -> bool:
+        return any(abs(lv - freq) < 1e-9 for lv in self.levels)
+
+
+#: Table used throughout the reproduction (matches the paper's testbed range).
+DEFAULT_TABLE = FrequencyTable()

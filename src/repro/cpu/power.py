@@ -1,0 +1,93 @@
+"""Analytic CPU power model standing in for the paper's physical Xeon.
+
+Per-core power follows the classic CMOS decomposition
+
+    P(f) = P_leak + a(f) * C * V(f)^2 * f
+
+with a near-linear voltage/frequency curve ``V(f) = v0 + v1 * f`` in the
+DVFS operating region, and an activity factor ``a`` that is high while a
+request is executing and low while the core idles at frequency ``f`` (the
+paper does not use C-states — idle cores keep clocking, which is exactly why
+DeepPower's BaseFreq parameter matters).
+
+A package-level constant (uncore, memory controller, fans, VRM losses)
+models the machine self-power the paper blames for Masstree's modest
+relative savings ("the power consumption of the machine itself accounts for
+a large proportion" when only 8 worker cores are active).
+
+Default constants are calibrated so a 20-core socket at turbo with all
+cores busy draws roughly the 5218R's ~125 W TDP, and the dynamic range
+between (fmin, idle) and (turbo, busy) is wide enough that DVFS policies
+have meaningful headroom — the shapes of every power comparison in the
+paper depend only on this monotone convex curve, not on absolute watts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PowerModel", "DEFAULT_POWER_MODEL"]
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """CMOS-style per-core + package power model.
+
+    Parameters
+    ----------
+    leak_watts:
+        Per-core static leakage (W), frequency independent.
+    cap_coeff:
+        Effective switched capacitance coefficient ``C`` in ``C * V^2 * f``
+        (W per GHz at V=1).
+    v0, v1:
+        Voltage curve ``V(f) = v0 + v1 * f`` (volts, f in GHz).
+    idle_activity:
+        Activity factor of an idle (but clocked) core relative to a busy one.
+    busy_activity:
+        Activity factor while executing a request.
+    package_watts:
+        Constant socket/uncore power (W).
+    """
+
+    leak_watts: float = 0.40
+    cap_coeff: float = 1.15
+    v0: float = 0.45
+    v1: float = 0.27
+    idle_activity: float = 0.18
+    busy_activity: float = 1.0
+    package_watts: float = 12.0
+
+    def voltage(self, freq: float) -> float:
+        """Operating voltage (V) at ``freq`` GHz."""
+        return self.v0 + self.v1 * freq
+
+    def core_power(self, freq: float, busy: bool) -> float:
+        """Instantaneous power (W) of one core at ``freq`` GHz."""
+        act = self.busy_activity if busy else self.idle_activity
+        v = self.voltage(freq)
+        return self.leak_watts + act * self.cap_coeff * v * v * freq
+
+    def core_power_array(self, freqs: np.ndarray, busy: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`core_power`."""
+        f = np.asarray(freqs, dtype=float)
+        act = np.where(np.asarray(busy, dtype=bool), self.busy_activity, self.idle_activity)
+        v = self.v0 + self.v1 * f
+        return self.leak_watts + act * self.cap_coeff * v * v * f
+
+    def socket_power(self, freqs: np.ndarray, busy: np.ndarray) -> float:
+        """Total socket power: package constant + sum of core powers."""
+        return self.package_watts + float(self.core_power_array(freqs, busy).sum())
+
+    def dynamic_range(self, table) -> tuple[float, float]:
+        """(min, max) single-core power over the DVFS range, for reporting."""
+        return (
+            self.core_power(table.fmin, busy=False),
+            self.core_power(table.turbo, busy=True),
+        )
+
+
+#: Model used throughout the reproduction.
+DEFAULT_POWER_MODEL = PowerModel()

@@ -1,0 +1,132 @@
+"""CPU package: a socket of cores sharing a DVFS table and power model.
+
+The paper deploys worker threads on socket 0 and measures that socket's RAPL
+domain; here a :class:`Cpu` is one such socket.  Multi-socket layouts are a
+list of Cpus (see :func:`dual_socket`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..sim.engine import Engine
+from .core import Core
+from .dvfs import DEFAULT_TABLE, FrequencyTable
+from .power import DEFAULT_POWER_MODEL, PowerModel
+
+__all__ = ["Cpu", "dual_socket"]
+
+
+class Cpu:
+    """A socket of ``num_cores`` DVFS-capable cores.
+
+    Parameters
+    ----------
+    engine:
+        Simulation engine (shared clock).
+    num_cores:
+        Cores in this package.
+    table:
+        DVFS table shared by all cores (per-core frequency is independent —
+        the 5218R exposes per-core P-states).
+    power_model:
+        Analytic power model; the package constant is metered here.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        num_cores: int,
+        table: FrequencyTable = DEFAULT_TABLE,
+        power_model: PowerModel = DEFAULT_POWER_MODEL,
+    ) -> None:
+        if num_cores <= 0:
+            raise ValueError(f"num_cores must be positive, got {num_cores}")
+        self.engine = engine
+        self.table = table
+        self.power_model = power_model
+        self.cores: List[Core] = [
+            Core(engine, i, table, power_model) for i in range(num_cores)
+        ]
+        self._created_at = engine.now
+
+    # ------------------------------------------------------------------ sizes
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.cores)
+
+    def __len__(self) -> int:
+        return len(self.cores)
+
+    def __getitem__(self, idx: int) -> Core:
+        return self.cores[idx]
+
+    def __iter__(self):
+        return iter(self.cores)
+
+    # ----------------------------------------------------------------- control
+
+    def set_all_frequencies(self, freq: float) -> None:
+        """Set every core to ``freq`` (quantised)."""
+        for core in self.cores:
+            core.set_frequency(freq)
+
+    def set_frequencies(self, freqs: Sequence[float]) -> None:
+        """Per-core frequency assignment; ``len(freqs)`` must match."""
+        if len(freqs) != len(self.cores):
+            raise ValueError(
+                f"expected {len(self.cores)} frequencies, got {len(freqs)}"
+            )
+        for core, f in zip(self.cores, freqs):
+            core.set_frequency(f)
+
+    # ------------------------------------------------------------------ meters
+
+    def frequencies(self) -> np.ndarray:
+        """Current per-core frequencies (GHz)."""
+        return np.array([c.frequency for c in self.cores])
+
+    def busy_mask(self) -> np.ndarray:
+        """Boolean per-core busy flags."""
+        return np.array([c.busy for c in self.cores])
+
+    def busy_count(self) -> int:
+        """Number of cores currently executing a request."""
+        return sum(1 for c in self.cores if c.busy)
+
+    def utilization(self) -> float:
+        """Instantaneous fraction of busy cores."""
+        return self.busy_count() / len(self.cores)
+
+    def energy_joules(self) -> float:
+        """Socket energy: all cores + package constant since construction."""
+        core_e = sum(c.energy_joules() for c in self.cores)
+        pkg_e = self.power_model.package_watts * (self.engine.now - self._created_at)
+        return core_e + pkg_e
+
+    def power_watts(self) -> float:
+        """Instantaneous socket power draw (W)."""
+        return self.power_model.package_watts + sum(c.power_watts() for c in self.cores)
+
+    def total_switches(self) -> int:
+        """Total DVFS transitions across all cores."""
+        return sum(c.switch_count for c in self.cores)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Cpu(cores={len(self.cores)}, table={self.table.fmin}-{self.table.turbo} GHz)"
+
+
+def dual_socket(
+    engine: Engine,
+    cores_per_socket: int,
+    table: FrequencyTable = DEFAULT_TABLE,
+    power_model: PowerModel = DEFAULT_POWER_MODEL,
+) -> List[Cpu]:
+    """The paper's 2-socket layout: workers on socket 0, support on socket 1."""
+    return [
+        Cpu(engine, cores_per_socket, table, power_model),
+        Cpu(engine, cores_per_socket, table, power_model),
+    ]

@@ -1,0 +1,246 @@
+"""Fig 7: the paper's headline comparison across five Tailbench apps.
+
+For each app: calibrate the diurnal workload so the unmanaged baseline's
+p99 sits near the SLA, train a DeepPower agent on the calibrated workload,
+then evaluate Baseline / ReTail / Gemini / DeepPower on a held-out seed.
+
+Reported per (app, policy): power + saving vs baseline (Fig 7a), mean and
+p99 latency vs SLA (Fig 7b), mean/tail ratio and timeout rate (Fig 7c).
+
+Expected shape versus the paper:
+* DeepPower's p99 <= SLA on every app; ReTail/Gemini slightly violate on
+  Xapian and Gemini violates badly on Masstree.
+* DeepPower's power <= ReTail/Gemini on most apps, all three well below
+  baseline; Masstree's relative savings are smallest (half the socket
+  hosts no workers, so machine self-power dominates).
+* DeepPower's mean/tail ratio is the highest (short requests run slow,
+  long requests ramp up).
+
+Trained agents are cached under ``REPRO_CACHE`` (default ``.artifacts/``)
+keyed by app + profile, so re-running the bench reuses them.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.reporting import format_table
+from ..baselines.gemini import GeminiPolicy
+from ..baselines.retail import RetailPolicy
+from ..baselines.simple import MaxFrequencyPolicy
+from ..core.agent import DeepPowerAgent, default_ddpg_config
+from ..core.reward import RewardConfig
+from ..core.runtime import DeepPowerConfig
+from ..core.training import evaluate_deeppower, train_deeppower
+from ..server.metrics import RunMetrics
+from ..sim.rng import RngRegistry
+from ..workload.apps import get_app
+from .calibration import calibrate_to_sla
+from .runner import run_policy
+from .scenarios import ExperimentProfile, active_profile, evaluation_trace, workers_for
+
+__all__ = [
+    "PolicyOutcome",
+    "Fig7AppResult",
+    "run_fig7",
+    "render_fig7",
+    "tuned_agent_setup",
+    "FIG7_POLICIES",
+]
+
+FIG7_POLICIES = ("baseline", "retail", "gemini", "deeppower")
+EVAL_SEED = 424242
+
+
+@dataclass(frozen=True)
+class PolicyOutcome:
+    policy: str
+    metrics: RunMetrics
+    saving_vs_baseline: float
+
+
+@dataclass
+class Fig7AppResult:
+    app: str
+    sla: float
+    mean_load: float
+    outcomes: Dict[str, PolicyOutcome] = field(default_factory=dict)
+
+
+#: Per-app calibration target (baseline p99 / SLA).  Moses's service-time
+#: distribution alone puts its p99 near 0.8x SLA at zero load (Fig 1's 8x
+#: tail with SLA = 10x mean), so "close to SLA" for it means ~0.85.
+CALIBRATION_TARGET = {"moses": 0.85, "img-dnn": 0.5}
+DEFAULT_CALIBRATION_TARGET = 0.7
+
+#: Per-app reward-weight overrides (the paper's §4.4.2 tuning knob: "we can
+#: increase the value of beta ... if we find that the tail latency is higher
+#: than the SLA metric").  Sphinx's long DRL windows see few arrivals, so the
+#: timeout signal needs more weight to cut through the sampling noise.
+REWARD_OVERRIDES = {"sphinx": {"beta": 30.0}, "xapian": {"beta": 26.0}}
+
+
+def calibration_target_for(app_name: str) -> float:
+    return CALIBRATION_TARGET.get(app_name, DEFAULT_CALIBRATION_TARGET)
+
+
+def tuned_agent_setup(seed: int = 7, app=None):
+    """The DDPG/reward configuration tuned for the simulated stack.
+
+    Exploration stays alive long enough (min sigma) for the critic to see
+    mid-range actions in healthy states — see DESIGN.md's notes on the
+    corner-collapse failure mode.  ``LongTime`` follows the app profile
+    (paper §4.6: it "can be changed according to the service time of
+    different applications" — Sphinx's second-scale requests need a longer
+    decision window to see a meaningful arrival sample).
+    """
+    rngs = RngRegistry(seed)
+    agent = DeepPowerAgent(
+        rngs.get("agent"),
+        default_ddpg_config(
+            noise_sigma=0.8,
+            noise_decay=0.9997,
+            noise_mu=0.1,
+            noise_min_sigma=0.12,
+            gamma=0.95,
+        ),
+    )
+    reward_kwargs = dict(alpha=2.0, beta=20.0, gamma_q=0.8)
+    if app is not None:
+        reward_kwargs.update(REWARD_OVERRIDES.get(app.name, {}))
+    cfg = DeepPowerConfig(
+        long_time=app.long_time if app is not None else 1.0,
+        updates_per_step=4,
+        reward=RewardConfig(**reward_kwargs),
+    )
+    return agent, cfg
+
+
+def _cache_dir() -> str:
+    return os.environ.get("REPRO_CACHE", os.path.join(os.getcwd(), ".artifacts"))
+
+
+def _agent_cache_path(app_name: str, profile: ExperimentProfile, seed: int) -> str:
+    d = os.path.join(_cache_dir(), "agents")
+    os.makedirs(d, exist_ok=True)
+    return os.path.join(
+        d, f"deeppower-{app_name}-{profile.name}-e{profile.train_episodes}-s{seed}.npz"
+    )
+
+
+def trained_agent(
+    app_name: str,
+    trace,
+    profile: ExperimentProfile,
+    num_workers: int,
+    seed: int = 7,
+    use_cache: bool = True,
+    verbose: bool = False,
+):
+    """Train (or load from cache) a DeepPower agent for one app."""
+    agent, cfg = tuned_agent_setup(seed, app=get_app(app_name))
+    path = _agent_cache_path(app_name, profile, seed)
+    if use_cache and os.path.exists(path):
+        agent.load(path)
+        return agent, cfg
+    app = get_app(app_name)
+    train_deeppower(
+        app,
+        trace,
+        episodes=profile.train_episodes,
+        num_cores=profile.num_cores,
+        seed=seed,
+        agent=agent,
+        config=cfg,
+        verbose=verbose,
+    )
+    if use_cache:
+        agent.save(path)
+    return agent, cfg
+
+
+def run_fig7(
+    apps: Optional[Sequence[str]] = None,
+    full: Optional[bool] = None,
+    seed: int = 7,
+    use_cache: bool = True,
+    verbose: bool = False,
+) -> Dict[str, Fig7AppResult]:
+    """The full Fig 7 pipeline for each app."""
+    profile = active_profile(full)
+    apps = apps if apps is not None else ("xapian", "masstree", "moses", "sphinx", "img-dnn")
+    results: Dict[str, Fig7AppResult] = {}
+    for name in apps:
+        app = get_app(name)
+        nw = workers_for(name, profile.num_cores)
+        base_trace = evaluation_trace(profile)
+        cal = calibrate_to_sla(
+            app, base_trace, profile.num_cores, num_workers=nw,
+            target_fraction=calibration_target_for(name),
+        )
+        trace = cal.trace
+
+        agent, dp_cfg = trained_agent(
+            name, trace, profile, nw, seed=seed, use_cache=use_cache, verbose=verbose
+        )
+
+        app_res = Fig7AppResult(app=name, sla=app.sla, mean_load=cal.mean_load)
+        runs: Dict[str, RunMetrics] = {}
+        runs["baseline"] = run_policy(
+            lambda ctx: MaxFrequencyPolicy(ctx),
+            app, trace, profile.num_cores, seed=EVAL_SEED, num_workers=nw,
+        ).metrics
+        runs["retail"] = run_policy(
+            lambda ctx: RetailPolicy(ctx),
+            app, trace, profile.num_cores, seed=EVAL_SEED, num_workers=nw,
+        ).metrics
+        runs["gemini"] = run_policy(
+            lambda ctx: GeminiPolicy(ctx),
+            app, trace, profile.num_cores, seed=EVAL_SEED, num_workers=nw,
+        ).metrics
+        runs["deeppower"] = evaluate_deeppower(
+            agent, app, trace, num_cores=profile.num_cores, seed=EVAL_SEED, config=dp_cfg,
+        ).metrics
+
+        base_power = runs["baseline"].avg_power_watts
+        for pol, m in runs.items():
+            app_res.outcomes[pol] = PolicyOutcome(
+                policy=pol,
+                metrics=m,
+                saving_vs_baseline=1.0 - m.avg_power_watts / base_power,
+            )
+        results[name] = app_res
+    return results
+
+
+def render_fig7(results: Dict[str, Fig7AppResult]) -> str:
+    rows = []
+    for name, ar in results.items():
+        for pol in FIG7_POLICIES:
+            if pol not in ar.outcomes:
+                continue
+            o = ar.outcomes[pol]
+            m = o.metrics
+            rows.append(
+                [
+                    name,
+                    pol,
+                    m.avg_power_watts,
+                    f"{o.saving_vs_baseline:.1%}",
+                    m.mean_latency * 1e3,
+                    m.tail_latency * 1e3,
+                    f"{m.tail_latency / ar.sla:.2f}x",
+                    m.mean_tail_ratio,
+                    f"{m.timeout_rate:.2%}",
+                ]
+            )
+    return format_table(
+        [
+            "app", "policy", "power(W)", "saving", "mean(ms)", "p99(ms)",
+            "p99/SLA", "mean/tail", "timeout",
+        ],
+        rows,
+        "{:.2f}",
+    )

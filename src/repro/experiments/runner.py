@@ -1,0 +1,164 @@
+"""Generic experiment runner: (app x policy x workload) -> metrics.
+
+Every evaluation in the paper is a run of one latency-critical application
+under one power-management policy against one RPS trace, summarised by
+power and latency statistics.  :func:`run_policy` builds the full simulated
+stack (engine, socket, server, RAPL monitor, open-loop source), attaches a
+policy driver, plays the trace, and returns a :class:`RunResult`.
+
+A *policy driver* is any object with ``start()`` (and optionally ``stop()``)
+created by a factory receiving the :class:`RunContext` — DeepPower's
+runtime, every baseline in :mod:`repro.baselines`, and the plain cpufreq
+governors all fit this shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from ..cpu.rapl import PowerMonitor
+from ..cpu.topology import Cpu
+from ..server.metrics import RunMetrics
+from ..server.server import Server
+from ..sim.engine import Engine
+from ..sim.rng import RngRegistry
+from ..workload.apps import AppSpec
+from ..workload.arrivals import OpenLoopSource
+from ..workload.trace import WorkloadTrace
+
+__all__ = ["RunContext", "RunResult", "build_context", "run_policy"]
+
+
+@dataclass
+class RunContext:
+    """Everything a policy driver may need to wire itself up."""
+
+    engine: Engine
+    cpu: Cpu
+    server: Server
+    monitor: PowerMonitor
+    source: OpenLoopSource
+    rngs: RngRegistry
+    app: AppSpec
+    trace: WorkloadTrace
+    num_cores: int
+
+
+@dataclass
+class RunResult:
+    """Outcome of one run."""
+
+    metrics: RunMetrics
+    #: Driver-specific artifacts (step records, frequency traces, ...).
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def power(self) -> float:
+        return self.metrics.avg_power_watts
+
+    @property
+    def energy(self) -> float:
+        return self.metrics.energy_joules
+
+
+def build_context(
+    app: AppSpec,
+    trace: WorkloadTrace,
+    num_cores: int,
+    seed: int,
+    *,
+    num_workers: Optional[int] = None,
+    keep_requests: bool = False,
+) -> RunContext:
+    """Construct the simulated stack for one run (no policy attached)."""
+    engine = Engine()
+    rngs = RngRegistry(seed)
+    cpu = Cpu(engine, num_cores)
+    server = Server(
+        engine, cpu, app, num_workers=num_workers, keep_requests=keep_requests
+    )
+    monitor = PowerMonitor(engine, cpu)
+    source = OpenLoopSource(
+        engine, trace, app.service, app.sla, server.submit, rngs.get("arrivals")
+    )
+    return RunContext(
+        engine=engine,
+        cpu=cpu,
+        server=server,
+        monitor=monitor,
+        source=source,
+        rngs=rngs,
+        app=app,
+        trace=trace,
+        num_cores=num_cores,
+    )
+
+
+def run_policy(
+    driver_factory: Callable[[RunContext], Any],
+    app: AppSpec,
+    trace: WorkloadTrace,
+    num_cores: int,
+    seed: int = 0,
+    *,
+    num_workers: Optional[int] = None,
+    keep_requests: bool = False,
+    drain_grace: Optional[float] = None,
+    extras_fn: Optional[Callable[[RunContext, Any], Dict[str, Any]]] = None,
+) -> RunResult:
+    """Run one (app, policy, trace) experiment.
+
+    Parameters
+    ----------
+    driver_factory:
+        ``factory(ctx) -> driver``; ``driver.start()`` is called before the
+        trace begins, ``driver.stop()`` (if present) after it ends.
+    drain_grace:
+        Extra virtual time after the trace to let in-flight requests finish
+        (defaults to ``10 * SLA``).  Power/energy are measured strictly over
+        the trace window; latency statistics include drained completions.
+    extras_fn:
+        Optional ``fn(ctx, driver) -> dict`` collecting driver artifacts.
+
+    Returns
+    -------
+    RunResult
+        Latency metrics joined with energy/power over the trace window.
+    """
+    ctx = build_context(
+        app, trace, num_cores, seed, num_workers=num_workers, keep_requests=keep_requests
+    )
+    driver = driver_factory(ctx)
+    if driver is not None and hasattr(driver, "start"):
+        driver.start()
+    ctx.source.start()
+
+    duration = trace.duration
+    ctx.engine.run_until(duration)
+
+    # Power accounting stops at trace end: the paper reports power over the
+    # workload window, not over the drain tail.
+    energy = ctx.monitor.total_energy()
+    switches = ctx.cpu.total_switches()
+
+    grace = drain_grace if drain_grace is not None else 10.0 * app.sla
+    deadline = duration + grace
+    step = max(app.sla, grace / 100.0)
+    t = duration
+    while ctx.server.drain_remaining() > 0 and t < deadline:
+        t = min(deadline, t + step)
+        ctx.engine.run_until(t)
+
+    if driver is not None and hasattr(driver, "stop"):
+        driver.stop()
+
+    metrics = ctx.server.metrics.summarize(duration)
+    metrics.energy_joules = energy
+    metrics.avg_power_watts = energy / duration if duration > 0 else float("nan")
+    metrics.dvfs_switches = switches
+
+    extras: Dict[str, Any] = {}
+    if extras_fn is not None:
+        extras = extras_fn(ctx, driver)
+    return RunResult(metrics=metrics, extras=extras)

@@ -1,0 +1,236 @@
+"""Network containers: sequential MLPs and parameter-vector utilities.
+
+Besides the generic :class:`MLP`, this module provides the two-branch
+actor topology the paper describes in §4.6 ("the input state passes the
+first shared fully-connected layer and then gets through two separate
+fully-connected layers", sigmoid outputs) as :class:`TwoHeadMLP`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple, Type
+
+import numpy as np
+
+from .layers import Identity, Layer, Linear, Parameter, ReLU, Sigmoid, Tanh
+
+__all__ = ["MLP", "TwoHeadMLP", "Module", "ACTIVATIONS"]
+
+ACTIVATIONS: Dict[str, Type[Layer]] = {
+    "relu": ReLU,
+    "sigmoid": Sigmoid,
+    "tanh": Tanh,
+    "identity": Identity,
+}
+
+
+class Module:
+    """Base container: parameter bookkeeping shared by all networks."""
+
+    def parameters(self) -> List[Parameter]:
+        raise NotImplementedError
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    # ------------------------------------------------------------- parameters
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Total trainable scalar count (the paper reports 2096 for its actor)."""
+        return sum(p.size for p in self.parameters())
+
+    def get_flat(self) -> np.ndarray:
+        """All parameters concatenated into one vector (for tests/serialization)."""
+        ps = self.parameters()
+        if not ps:
+            return np.zeros(0)
+        return np.concatenate([p.data.ravel() for p in ps])
+
+    def set_flat(self, vec: np.ndarray) -> None:
+        """Load parameters from a flat vector produced by :meth:`get_flat`."""
+        vec = np.asarray(vec, dtype=np.float64)
+        off = 0
+        for p in self.parameters():
+            n = p.size
+            if off + n > vec.size:
+                raise ValueError("flat vector too short for this network")
+            p.data[...] = vec[off : off + n].reshape(p.data.shape)
+            off += n
+        if off != vec.size:
+            raise ValueError(f"flat vector has {vec.size - off} extra values")
+
+    def copy_from(self, other: "Module") -> None:
+        """Hard copy of another network's parameters (target-net init)."""
+        self.set_flat(other.get_flat())
+
+    def soft_update_from(self, other: "Module", tau: float) -> None:
+        """Polyak averaging: ``theta <- tau * theta_src + (1-tau) * theta``.
+
+        The DDPG/SAC target-network update (paper Algorithm 2, line 18).
+        """
+        if not 0.0 <= tau <= 1.0:
+            raise ValueError("tau must be in [0, 1]")
+        for p_t, p_s in zip(self.parameters(), other.parameters()):
+            p_t.data *= 1.0 - tau
+            p_t.data += tau * p_s.data
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Named parameter snapshot (savable with ``np.savez``)."""
+        return {f"p{i}": p.data.copy() for i, p in enumerate(self.parameters())}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        for i, p in enumerate(self.parameters()):
+            key = f"p{i}"
+            if key not in state:
+                raise KeyError(f"missing parameter {key}")
+            if state[key].shape != p.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {key}: {state[key].shape} vs {p.data.shape}"
+                )
+            p.data[...] = state[key]
+
+
+class MLP(Module):
+    """Fully-connected stack: ``dims[0] -> dims[1] -> ... -> dims[-1]``.
+
+    Parameters
+    ----------
+    dims:
+        Layer widths including input and output.
+    rng:
+        Initialisation stream.
+    hidden_activation, output_activation:
+        Names from :data:`ACTIVATIONS`.
+
+    Examples
+    --------
+    >>> rng = np.random.default_rng(0)
+    >>> net = MLP([8, 32, 24, 16, 2], rng, output_activation="sigmoid")
+    >>> y = net(np.zeros((5, 8)))
+    >>> y.shape
+    (5, 2)
+    >>> bool(np.all((y >= 0) & (y <= 1)))
+    True
+    """
+
+    def __init__(
+        self,
+        dims: Sequence[int],
+        rng: np.random.Generator,
+        hidden_activation: str = "relu",
+        output_activation: str = "identity",
+    ) -> None:
+        if len(dims) < 2:
+            raise ValueError("need at least input and output dims")
+        self.dims = tuple(int(d) for d in dims)
+        self.layers: List[Layer] = []
+        n = len(dims) - 1
+        for i in range(n):
+            self.layers.append(Linear(dims[i], dims[i + 1], rng, name=f"fc{i}"))
+            act = hidden_activation if i < n - 1 else output_activation
+            self.layers.append(ACTIVATIONS[act]())
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        g = grad_out
+        for layer in reversed(self.layers):
+            g = layer.backward(g)
+        return g
+
+    def parameters(self) -> List[Parameter]:
+        out: List[Parameter] = []
+        for layer in self.layers:
+            out.extend(layer.parameters())
+        return out
+
+
+class TwoHeadMLP(Module):
+    """Shared trunk + two output heads, each emitting one scalar.
+
+    This is the paper's actor topology: the 8-dim state passes through a
+    shared layer, then two separate branches produce ``BaseFreq`` and
+    ``ScalingCoef``; a sigmoid keeps both in [0, 1] (§4.4.3, §4.6).
+
+    ``forward`` returns shape ``(batch, 2)`` — column 0 is head A
+    (BaseFreq), column 1 is head B (ScalingCoef).
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        trunk_dims: Sequence[int],
+        head_dims: Sequence[int],
+        rng: np.random.Generator,
+        output_activation: str = "sigmoid",
+        hidden_activation: str = "relu",
+    ) -> None:
+        self.trunk = MLP(
+            [in_dim, *trunk_dims],
+            rng,
+            hidden_activation=hidden_activation,
+            output_activation=hidden_activation,
+        )
+        trunk_out = trunk_dims[-1]
+        self.head_a = MLP(
+            [trunk_out, *head_dims, 1],
+            rng,
+            hidden_activation=hidden_activation,
+            output_activation=output_activation,
+        )
+        self.head_b = MLP(
+            [trunk_out, *head_dims, 1],
+            rng,
+            hidden_activation=hidden_activation,
+            output_activation=output_activation,
+        )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        h = self.trunk.forward(x)
+        a = self.head_a.forward(h)
+        b = self.head_b.forward(h)
+        return np.concatenate([a, b], axis=1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        ga = self.head_a.backward(grad_out[:, :1])
+        gb = self.head_b.backward(grad_out[:, 1:2])
+        return self.trunk.backward(ga + gb)
+
+    def parameters(self) -> List[Parameter]:
+        return self.trunk.parameters() + self.head_a.parameters() + self.head_b.parameters()
+
+
+def numerical_gradient(
+    module: Module, x: np.ndarray, loss_fn, eps: float = 1e-6
+) -> np.ndarray:
+    """Finite-difference gradient of ``loss_fn(module(x))`` w.r.t. parameters.
+
+    Test utility backing the gradient-check property tests.
+    """
+    flat = module.get_flat()
+    grad = np.zeros_like(flat)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        module.set_flat(flat)
+        hi = loss_fn(module.forward(x))
+        flat[i] = orig - eps
+        module.set_flat(flat)
+        lo = loss_fn(module.forward(x))
+        flat[i] = orig
+        grad[i] = (hi - lo) / (2 * eps)
+    module.set_flat(flat)
+    return grad

@@ -1,0 +1,54 @@
+"""Saving / loading network parameters as ``.npz`` archives.
+
+The paper "saves the neural network parameters after training" and reloads
+them for testing; these helpers provide that workflow for any
+:class:`~repro.nn.network.Module`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from .network import Module
+
+__all__ = ["save_module", "load_module", "save_modules", "load_modules"]
+
+
+def save_module(module: Module, path: str) -> None:
+    """Write a module's parameters to ``path`` (``.npz``)."""
+    np.savez(path, **module.state_dict())
+
+
+def load_module(module: Module, path: str) -> None:
+    """Load parameters saved by :func:`save_module` into ``module``."""
+    if not os.path.exists(path):
+        raise FileNotFoundError(path)
+    with np.load(path) as data:
+        module.load_state_dict({k: data[k] for k in data.files})
+
+
+def save_modules(modules: Dict[str, Module], path: str) -> None:
+    """Save several named modules into one archive (e.g. actor + critic)."""
+    payload = {}
+    for name, mod in modules.items():
+        for key, arr in mod.state_dict().items():
+            payload[f"{name}/{key}"] = arr
+    np.savez(path, **payload)
+
+
+def load_modules(modules: Dict[str, Module], path: str) -> None:
+    """Load an archive produced by :func:`save_modules`."""
+    if not os.path.exists(path):
+        raise FileNotFoundError(path)
+    with np.load(path) as data:
+        for name, mod in modules.items():
+            prefix = f"{name}/"
+            state = {
+                k[len(prefix):]: data[k] for k in data.files if k.startswith(prefix)
+            }
+            if not state:
+                raise KeyError(f"archive has no parameters for module {name!r}")
+            mod.load_state_dict(state)

@@ -1,0 +1,115 @@
+"""Experience replay pool (paper Fig 3 component ⑥).
+
+Fixed-capacity circular buffer over preallocated numpy arrays: O(1) pushes,
+vectorised uniform sampling, no per-transition object overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["Transition", "ReplayBuffer"]
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A single (s, a, r, s') tuple with terminal flag."""
+
+    state: np.ndarray
+    action: np.ndarray
+    reward: float
+    next_state: np.ndarray
+    done: bool
+
+
+class ReplayBuffer:
+    """Uniform-sampling circular replay buffer.
+
+    Parameters
+    ----------
+    capacity:
+        Max stored transitions; oldest are overwritten.
+    state_dim, action_dim:
+        Fixed vector sizes (the DeepPower agent uses 8 and 2).
+
+    Examples
+    --------
+    >>> buf = ReplayBuffer(4, state_dim=2, action_dim=1)
+    >>> import numpy as np
+    >>> for i in range(6):
+    ...     buf.push(np.full(2, i), np.zeros(1), float(i), np.full(2, i + 1), False)
+    >>> len(buf)
+    4
+    >>> float(buf._rewards[:4].min())   # oldest two were overwritten
+    2.0
+    """
+
+    def __init__(self, capacity: int, state_dim: int, action_dim: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self.state_dim = int(state_dim)
+        self.action_dim = int(action_dim)
+        self._states = np.zeros((capacity, state_dim))
+        self._actions = np.zeros((capacity, action_dim))
+        self._rewards = np.zeros(capacity)
+        self._next_states = np.zeros((capacity, state_dim))
+        self._dones = np.zeros(capacity, dtype=bool)
+        self._size = 0
+        self._pos = 0
+        self.total_pushed = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def full(self) -> bool:
+        return self._size == self.capacity
+
+    def push(
+        self,
+        state: np.ndarray,
+        action: np.ndarray,
+        reward: float,
+        next_state: np.ndarray,
+        done: bool = False,
+    ) -> None:
+        """Store one transition, overwriting the oldest when full."""
+        i = self._pos
+        self._states[i] = state
+        self._actions[i] = action
+        self._rewards[i] = reward
+        self._next_states[i] = next_state
+        self._dones[i] = done
+        self._pos = (i + 1) % self.capacity
+        self._size = min(self._size + 1, self.capacity)
+        self.total_pushed += 1
+
+    def push_transition(self, tr: Transition) -> None:
+        self.push(tr.state, tr.action, tr.reward, tr.next_state, tr.done)
+
+    def sample(
+        self, batch_size: int, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Uniformly sample ``batch_size`` transitions (with replacement).
+
+        Returns ``(states, actions, rewards, next_states, dones)`` as
+        copies — training code may mutate them freely.
+        """
+        if self._size == 0:
+            raise ValueError("cannot sample from an empty buffer")
+        idx = rng.integers(0, self._size, size=batch_size)
+        return (
+            self._states[idx].copy(),
+            self._actions[idx].copy(),
+            self._rewards[idx].copy(),
+            self._next_states[idx].copy(),
+            self._dones[idx].copy(),
+        )
+
+    def clear(self) -> None:
+        self._size = 0
+        self._pos = 0

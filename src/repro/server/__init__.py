@@ -1,0 +1,19 @@
+"""Latency-critical server substrate: queue, workers, metrics, telemetry."""
+
+from .metrics import LatencyRecorder, RunMetrics
+from .queue import RequestQueue
+from .server import PolicyHooks, Server
+from .telemetry import STATE_FRACTIONS, TelemetryChannel, TelemetrySnapshot
+from .worker import Worker
+
+__all__ = [
+    "RequestQueue",
+    "Worker",
+    "Server",
+    "PolicyHooks",
+    "LatencyRecorder",
+    "RunMetrics",
+    "TelemetryChannel",
+    "TelemetrySnapshot",
+    "STATE_FRACTIONS",
+]

@@ -1,0 +1,150 @@
+"""Latency and QoS bookkeeping for a server run.
+
+Collects per-request records and derives the metrics the paper evaluates:
+mean latency, tail (p99) latency, timeout rate, the mean/tail ratio of
+Fig 7c, plus the power-side numbers joined in by the experiment runner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..workload.request import Request
+
+__all__ = ["LatencyRecorder", "RunMetrics"]
+
+
+@dataclass
+class RunMetrics:
+    """Summary of one (app, policy, workload) execution."""
+
+    completed: int
+    timeouts: int
+    mean_latency: float
+    tail_latency: float
+    p50_latency: float
+    p95_latency: float
+    mean_service: float
+    mean_queue_time: float
+    sla: float
+    duration: float
+    energy_joules: float = float("nan")
+    avg_power_watts: float = float("nan")
+    dvfs_switches: int = 0
+
+    @property
+    def timeout_rate(self) -> float:
+        """Fraction of completed requests exceeding the SLA."""
+        return self.timeouts / self.completed if self.completed else 0.0
+
+    @property
+    def mean_tail_ratio(self) -> float:
+        """Fig 7c's mean/tail ratio (higher = less tail inflation)."""
+        return self.mean_latency / self.tail_latency if self.tail_latency else 0.0
+
+    @property
+    def sla_met(self) -> bool:
+        """Paper QoS constraint: p99 latency within the SLA."""
+        return self.tail_latency <= self.sla
+
+    @property
+    def throughput(self) -> float:
+        """Completed requests per second of virtual time."""
+        return self.completed / self.duration if self.duration else 0.0
+
+    def as_dict(self) -> dict:
+        d = dict(self.__dict__)
+        d["timeout_rate"] = self.timeout_rate
+        d["mean_tail_ratio"] = self.mean_tail_ratio
+        d["sla_met"] = self.sla_met
+        return d
+
+
+class LatencyRecorder:
+    """Accumulates completed requests and computes run metrics.
+
+    Parameters
+    ----------
+    sla:
+        SLA in seconds, used for timeout classification.
+    tail_quantile:
+        Quantile defining "tail latency" (paper: 0.99).
+    keep_requests:
+        Retain completed Request objects (needed by trace-style figures;
+        turn off for long training runs to save memory).
+    """
+
+    def __init__(self, sla: float, tail_quantile: float = 0.99, keep_requests: bool = False) -> None:
+        self.sla = float(sla)
+        self.tail_quantile = float(tail_quantile)
+        self.keep_requests = keep_requests
+        self.latencies: List[float] = []
+        self.service_times: List[float] = []
+        self.queue_times: List[float] = []
+        self.requests: List[Request] = []
+        self.arrived = 0
+        self.completed = 0
+        self.timeouts = 0
+
+    # --------------------------------------------------------------- recording
+
+    def on_arrival(self, req: Request) -> None:
+        self.arrived += 1
+
+    def on_complete(self, req: Request) -> None:
+        lat = req.latency
+        if lat is None:  # pragma: no cover - server always stamps finish_time
+            raise ValueError("on_complete called with unfinished request")
+        self.completed += 1
+        self.latencies.append(lat)
+        self.service_times.append(req.service_time or 0.0)
+        self.queue_times.append(req.queue_time or 0.0)
+        if lat > self.sla:
+            self.timeouts += 1
+        if self.keep_requests:
+            self.requests.append(req)
+
+    # ----------------------------------------------------------------- queries
+
+    @property
+    def in_flight(self) -> int:
+        """Requests arrived but not yet completed."""
+        return self.arrived - self.completed
+
+    def tail_latency(self) -> float:
+        if not self.latencies:
+            return 0.0
+        return float(np.quantile(self.latencies, self.tail_quantile))
+
+    def mean_latency(self) -> float:
+        return float(np.mean(self.latencies)) if self.latencies else 0.0
+
+    def summarize(self, duration: float) -> RunMetrics:
+        """Freeze into a :class:`RunMetrics` for a run of ``duration`` secs."""
+        lat = np.asarray(self.latencies) if self.latencies else np.zeros(0)
+        q = lambda p: float(np.quantile(lat, p)) if lat.size else 0.0
+        return RunMetrics(
+            completed=self.completed,
+            timeouts=self.timeouts,
+            mean_latency=float(lat.mean()) if lat.size else 0.0,
+            tail_latency=q(self.tail_quantile),
+            p50_latency=q(0.5),
+            p95_latency=q(0.95),
+            mean_service=float(np.mean(self.service_times)) if self.service_times else 0.0,
+            mean_queue_time=float(np.mean(self.queue_times)) if self.queue_times else 0.0,
+            sla=self.sla,
+            duration=float(duration),
+        )
+
+    def reset(self) -> None:
+        """Clear all recorded data (e.g. after a warmup period)."""
+        self.latencies.clear()
+        self.service_times.clear()
+        self.queue_times.clear()
+        self.requests.clear()
+        self.arrived = 0
+        self.completed = 0
+        self.timeouts = 0

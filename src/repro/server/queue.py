@@ -1,0 +1,76 @@
+"""FIFO request queue with deadline-aware queries.
+
+The paper's server is a single FIFO queue feeding non-preemptive worker
+threads.  Besides push/pop, policies need two kinds of inspection:
+
+* DeepPower's state observer counts queued requests whose remaining time to
+  deadline is below fractions of the SLA (``Queue25/50/75``).
+* ReTail plans the frequency for the head request by summing predicted
+  service over *all* queued requests, so ordered iteration is exposed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, Optional
+
+from ..workload.request import Request
+
+__all__ = ["RequestQueue"]
+
+
+class RequestQueue:
+    """Unbounded FIFO of :class:`~repro.workload.request.Request`."""
+
+    def __init__(self) -> None:
+        self._q: deque[Request] = deque()
+        self.total_enqueued = 0
+        self.peak_length = 0
+
+    def push(self, req: Request) -> None:
+        """Append a request to the tail."""
+        self._q.append(req)
+        self.total_enqueued += 1
+        if len(self._q) > self.peak_length:
+            self.peak_length = len(self._q)
+
+    def pop(self) -> Request:
+        """Remove and return the head request.
+
+        Raises
+        ------
+        IndexError
+            If the queue is empty.
+        """
+        return self._q.popleft()
+
+    def peek(self) -> Optional[Request]:
+        """Head request without removing it (None if empty)."""
+        return self._q[0] if self._q else None
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    def __bool__(self) -> bool:
+        return bool(self._q)
+
+    def __iter__(self) -> Iterator[Request]:
+        """Iterate head-to-tail without consuming."""
+        return iter(self._q)
+
+    def count_remaining_below(self, now: float, threshold: float) -> int:
+        """Requests whose time-to-deadline at ``now`` is below ``threshold``.
+
+        Implements the paper's ``QueueX`` state feature with
+        ``threshold = SLA * X%``; overdue requests (negative remaining)
+        count as below any non-negative threshold.
+        """
+        return sum(1 for r in self._q if r.time_remaining(now) < threshold)
+
+    def oldest_waiting(self, now: float) -> float:
+        """Age of the head request (0 if empty)."""
+        head = self.peek()
+        return 0.0 if head is None else now - head.arrival_time
+
+    def clear(self) -> None:
+        self._q.clear()

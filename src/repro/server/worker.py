@@ -1,0 +1,140 @@
+"""Worker thread model: one thread pinned to one core, non-preemptive.
+
+A worker executes exactly one request at a time.  Execution is *frequency
+aware*: remaining work drains at the core's current frequency, and a DVFS
+transition mid-request reschedules the completion event from the remaining
+work.  That mechanism is what gives millisecond-granularity frequency
+control (the paper's thread controller) its effect on in-flight requests —
+prior methods picked a frequency once per request precisely because their
+runtimes lacked this path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..cpu.core import Core
+from ..sim.engine import Engine
+from ..sim.events import EventHandle
+from ..workload.request import Request
+
+__all__ = ["Worker"]
+
+
+class Worker:
+    """A server worker thread bound to a physical core.
+
+    Parameters
+    ----------
+    engine:
+        Simulation engine.
+    core:
+        The core this thread is pinned to (paper: 1 thread per core on
+        socket 0).
+    on_complete:
+        Callback ``fn(worker, request)`` invoked when a request finishes.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        core: Core,
+        on_complete: Callable[["Worker", Request], None],
+    ) -> None:
+        self.engine = engine
+        self.core = core
+        self._on_complete = on_complete
+        self.current: Optional[Request] = None
+        self.completed_count = 0
+        self._remaining_work = 0.0
+        self._progress_t = 0.0
+        self._completion_ev: Optional[EventHandle] = None
+        core.add_frequency_listener(self._on_freq_change)
+
+    # ------------------------------------------------------------------ state
+
+    @property
+    def busy(self) -> bool:
+        return self.current is not None
+
+    @property
+    def core_id(self) -> int:
+        return self.core.core_id
+
+    def remaining_work(self) -> float:
+        """Work (GHz-seconds) left on the current request (0 if idle)."""
+        if self.current is None:
+            return 0.0
+        elapsed = self.engine.now - self._progress_t
+        return max(0.0, self._remaining_work - elapsed * self.core.frequency)
+
+    # ---------------------------------------------------------------- control
+
+    def start(self, req: Request, effective_work: float) -> None:
+        """Begin executing ``req`` carrying ``effective_work`` GHz-seconds.
+
+        ``effective_work`` is the request's sampled work after contention
+        inflation (applied by the server at dispatch).
+        """
+        if self.current is not None:
+            raise RuntimeError(f"worker on core {self.core_id} is already busy")
+        now = self.engine.now
+        req.start_time = now
+        req.core_id = self.core_id
+        req.effective_work = effective_work
+        self.current = req
+        self._remaining_work = effective_work
+        self._progress_t = now
+        self.core.set_busy(True)
+        self._schedule_completion()
+
+    def inflate_work(self, extra_work: float) -> None:
+        """Add ``extra_work`` GHz-seconds to the in-flight request.
+
+        Models control-plane overhead charged to the worker core (e.g.
+        Gemini's per-request prediction running on the serving thread).
+        """
+        if extra_work < 0:
+            raise ValueError("extra_work must be >= 0")
+        if self.current is None or extra_work == 0.0:
+            return
+        now = self.engine.now
+        self._remaining_work = (
+            max(0.0, self._remaining_work - (now - self._progress_t) * self.core.frequency)
+            + extra_work
+        )
+        self._progress_t = now
+        if self._completion_ev is not None:
+            self.engine.cancel(self._completion_ev)
+        self._schedule_completion()
+
+    # ---------------------------------------------------------------- internal
+
+    def _schedule_completion(self) -> None:
+        assert self.current is not None
+        dt = self._remaining_work / self.core.frequency
+        self._completion_ev = self.engine.schedule_after(dt, self._complete)
+
+    def _on_freq_change(self, core: Core, old: float, new: float) -> None:
+        """Re-derive the completion time after a DVFS transition."""
+        if self.current is None:
+            return
+        now = self.engine.now
+        self._remaining_work = max(
+            0.0, self._remaining_work - (now - self._progress_t) * old
+        )
+        self._progress_t = now
+        if self._completion_ev is not None:
+            self.engine.cancel(self._completion_ev)
+        self._schedule_completion()
+
+    def _complete(self) -> None:
+        req = self.current
+        assert req is not None
+        req.finish_time = self.engine.now
+        self.current = None
+        self._remaining_work = 0.0
+        self._completion_ev = None
+        self.completed_count += 1
+        self.core.set_busy(False)
+        self._on_complete(self, req)

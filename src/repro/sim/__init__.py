@@ -1,0 +1,18 @@
+"""Discrete-event simulation kernel (virtual clock, event heap, RNG streams)."""
+
+from .engine import Engine, PeriodicTask, SimulationError, drain
+from .events import PRIORITY_CONTROL, PRIORITY_DEFAULT, PRIORITY_LATE, EventHandle
+from .rng import RngRegistry, stream_seed
+
+__all__ = [
+    "Engine",
+    "PeriodicTask",
+    "SimulationError",
+    "drain",
+    "EventHandle",
+    "PRIORITY_DEFAULT",
+    "PRIORITY_CONTROL",
+    "PRIORITY_LATE",
+    "RngRegistry",
+    "stream_seed",
+]

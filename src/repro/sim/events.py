@@ -1,0 +1,57 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+The engine stores events in a binary heap.  Cancellation is *lazy*: an
+:class:`EventHandle` carries a ``cancelled`` flag and the engine simply skips
+cancelled entries when it pops them.  This keeps cancellation O(1), which
+matters because frequency changes on a busy core cancel and reschedule the
+in-flight completion event — potentially once per DVFS transition.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["EventHandle", "PRIORITY_DEFAULT", "PRIORITY_CONTROL", "PRIORITY_LATE"]
+
+#: Priority for ordinary simulation events (arrivals, completions).
+PRIORITY_DEFAULT = 0
+#: Priority for control-plane callbacks that must run *after* the data plane
+#: at the same timestamp (e.g. telemetry snapshots taken at a tick boundary).
+PRIORITY_CONTROL = 10
+#: Runs after everything else at the same timestamp (end-of-run flushes).
+PRIORITY_LATE = 100
+
+_seq = itertools.count()
+
+
+@dataclass(order=True)
+class EventHandle:
+    """A scheduled callback, orderable by ``(time, priority, seq)``.
+
+    ``seq`` is a global monotonically increasing tiebreaker so that two
+    events scheduled for the same instant and priority fire in the order
+    they were scheduled (FIFO within a timestamp), which makes runs
+    deterministic.
+    """
+
+    time: float
+    priority: int
+    seq: int = field(default_factory=lambda: next(_seq))
+    callback: Callable[..., Any] | None = field(default=None, compare=False)
+    args: tuple = field(default=(), compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark this event as cancelled; the engine will skip it."""
+        self.cancelled = True
+        # Drop references so cancelled events pinned in the heap do not keep
+        # request/worker objects alive for the rest of the run.
+        self.callback = None
+        self.args = ()
+
+    @property
+    def active(self) -> bool:
+        """Whether the event will still fire."""
+        return not self.cancelled

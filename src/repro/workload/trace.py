@@ -1,0 +1,183 @@
+"""Diurnal RPS traces (stand-in for the Alibaba e-commerce search trace).
+
+The paper drives its evaluation with a one-month RPS recording from an
+e-commerce search system (Fig 6), downsampled so the whole pattern plays in
+360 s and scaled so the unmanaged tail latency sits near the SLA.  The
+recording is not redistributable, so :func:`synthesize_month` generates a
+series with the same structural features the paper relies on:
+
+* strong daily harmonic (afternoon peak, early-morning trough),
+* weekly modulation (weekend lift, as in e-commerce traffic),
+* lognormal multiplicative noise,
+* occasional flash-sale spikes.
+
+A :class:`WorkloadTrace` is a piecewise-constant rate function; the arrival
+process samples exponential gaps inside each segment, giving an
+inhomogeneous Poisson process with exactly the trace's intensity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["WorkloadTrace", "synthesize_month", "diurnal_trace", "constant_trace"]
+
+
+@dataclass(frozen=True)
+class WorkloadTrace:
+    """Piecewise-constant arrival-rate schedule.
+
+    ``rates[i]`` holds between ``edges[i]`` and ``edges[i+1]``;
+    ``len(edges) == len(rates) + 1``.  Rates are requests/second.
+    """
+
+    edges: np.ndarray
+    rates: np.ndarray
+
+    def __post_init__(self) -> None:
+        edges = np.asarray(self.edges, dtype=float)
+        rates = np.asarray(self.rates, dtype=float)
+        if edges.ndim != 1 or rates.ndim != 1 or len(edges) != len(rates) + 1:
+            raise ValueError("need len(edges) == len(rates) + 1")
+        if np.any(np.diff(edges) <= 0):
+            raise ValueError("edges must be strictly increasing")
+        if np.any(rates < 0):
+            raise ValueError("rates must be non-negative")
+        object.__setattr__(self, "edges", edges)
+        object.__setattr__(self, "rates", rates)
+
+    # ------------------------------------------------------------------ query
+
+    @property
+    def duration(self) -> float:
+        """Total trace length in seconds."""
+        return float(self.edges[-1] - self.edges[0])
+
+    def rate_at(self, t: float) -> float:
+        """Arrival rate at absolute time ``t`` (0 outside the trace)."""
+        if t < self.edges[0] or t >= self.edges[-1]:
+            return 0.0
+        idx = int(np.searchsorted(self.edges, t, side="right")) - 1
+        return float(self.rates[idx])
+
+    def mean_rate(self) -> float:
+        """Time-weighted mean rate over the trace."""
+        widths = np.diff(self.edges)
+        return float(np.sum(self.rates * widths) / np.sum(widths))
+
+    def peak_rate(self) -> float:
+        return float(self.rates.max())
+
+    def expected_requests(self) -> float:
+        """Expected number of arrivals over the full trace."""
+        return float(np.sum(self.rates * np.diff(self.edges)))
+
+    # ------------------------------------------------------------- transforms
+
+    def scaled(self, factor: float) -> "WorkloadTrace":
+        """Multiply every rate by ``factor`` (the paper's load knob)."""
+        if factor < 0:
+            raise ValueError("factor must be non-negative")
+        return WorkloadTrace(self.edges.copy(), self.rates * factor)
+
+    def scaled_to_mean(self, target_mean: float) -> "WorkloadTrace":
+        """Rescale so the time-weighted mean rate equals ``target_mean``."""
+        cur = self.mean_rate()
+        if cur <= 0:
+            raise ValueError("cannot rescale an all-zero trace")
+        return self.scaled(target_mean / cur)
+
+    def scaled_to_peak(self, target_peak: float) -> "WorkloadTrace":
+        """Rescale so the peak rate equals ``target_peak``."""
+        cur = self.peak_rate()
+        if cur <= 0:
+            raise ValueError("cannot rescale an all-zero trace")
+        return self.scaled(target_peak / cur)
+
+    def downsampled(self, duration: float, num_segments: int) -> "WorkloadTrace":
+        """Compress the trace to ``duration`` seconds in ``num_segments``
+        equal segments (the paper downsamples one month to 360 s)."""
+        if duration <= 0 or num_segments <= 0:
+            raise ValueError("duration and num_segments must be positive")
+        # Sample the original pattern at segment midpoints.
+        src_span = self.duration
+        mids = (np.arange(num_segments) + 0.5) / num_segments * src_span + self.edges[0]
+        rates = np.array([self.rate_at(m) for m in mids])
+        edges = np.linspace(0.0, duration, num_segments + 1)
+        return WorkloadTrace(edges, rates)
+
+    def repeat(self, times: int) -> "WorkloadTrace":
+        """Concatenate the trace with itself ``times`` times (training runs)."""
+        if times <= 0:
+            raise ValueError("times must be positive")
+        span = self.duration
+        widths = np.diff(self.edges)
+        rates = np.tile(self.rates, times)
+        all_widths = np.tile(widths, times)
+        edges = np.concatenate([[self.edges[0]], self.edges[0] + np.cumsum(all_widths)])
+        del span
+        return WorkloadTrace(edges, rates)
+
+    def segments(self) -> Iterable[tuple]:
+        """Yield ``(t_start, t_end, rate)`` triples."""
+        for i, r in enumerate(self.rates):
+            yield float(self.edges[i]), float(self.edges[i + 1]), float(r)
+
+
+def synthesize_month(
+    rng: np.random.Generator,
+    days: int = 30,
+    base_rps: float = 100.0,
+    daily_amplitude: float = 0.55,
+    weekly_amplitude: float = 0.15,
+    noise_sigma: float = 0.08,
+    spike_probability: float = 0.01,
+    spike_magnitude: float = 1.8,
+    samples_per_day: int = 24,
+) -> WorkloadTrace:
+    """Generate a month-long diurnal RPS series at hourly resolution.
+
+    The daily harmonic peaks mid-afternoon and bottoms out around 4 am; a
+    weekly harmonic lifts weekends; lognormal noise and rare flash spikes
+    roughen the curve like the paper's Fig 6.
+    """
+    n = days * samples_per_day
+    t_hours = np.arange(n) * (24.0 / samples_per_day)
+    day_phase = 2 * np.pi * (t_hours / 24.0 - 15.0 / 24.0)  # peak at 15:00
+    week_phase = 2 * np.pi * t_hours / (24.0 * 7.0)
+    pattern = (
+        1.0
+        + daily_amplitude * np.cos(day_phase)
+        + weekly_amplitude * np.cos(week_phase)
+    )
+    noise = np.exp(noise_sigma * rng.standard_normal(n))
+    spikes = np.where(rng.random(n) < spike_probability, spike_magnitude, 1.0)
+    rates = np.maximum(base_rps * 0.05, base_rps * pattern * noise * spikes)
+    edges = np.arange(n + 1) * (86400.0 / samples_per_day)
+    return WorkloadTrace(edges, rates)
+
+
+def diurnal_trace(
+    rng: np.random.Generator,
+    duration: float = 360.0,
+    num_segments: int = 120,
+    **month_kwargs,
+) -> WorkloadTrace:
+    """Paper-style evaluation trace: synthesize a month, downsample.
+
+    Returns a ``duration``-second piecewise trace with the month's diurnal
+    pattern compressed into it, unscaled (use ``scaled_to_mean`` /
+    ``scaled_to_peak`` to hit a target load).
+    """
+    month = synthesize_month(rng, **month_kwargs)
+    return month.downsampled(duration, num_segments)
+
+
+def constant_trace(rate: float, duration: float) -> WorkloadTrace:
+    """A static-RPS trace (what prior work assumes; used for Table 3/Fig 2)."""
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    return WorkloadTrace(np.array([0.0, duration]), np.array([float(rate)]))

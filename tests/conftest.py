@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cpu import Cpu
+from repro.sim import Engine, RngRegistry
+from repro.workload import AppSpec, LognormalCorrelatedService
+
+
+@pytest.fixture
+def engine() -> Engine:
+    return Engine()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def rngs() -> RngRegistry:
+    return RngRegistry(12345)
+
+
+@pytest.fixture
+def cpu(engine) -> Cpu:
+    return Cpu(engine, 4)
+
+
+@pytest.fixture
+def tiny_app() -> AppSpec:
+    """A fast app profile for cheap end-to-end tests.
+
+    Mean service 10 ms at fmax, SLA 60 ms, mild tail — one simulated second
+    covers many requests without a heavy event count.
+    """
+    return AppSpec(
+        name="tiny",
+        sla=0.06,
+        service=LognormalCorrelatedService(mean_work=0.021, sigma=0.5, rho=0.8),
+        contention=0.3,
+        short_time=0.002,
+        description="test app",
+    )

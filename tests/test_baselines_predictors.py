@@ -1,0 +1,110 @@
+"""Tests for service-time predictors and the Fig 2 machinery."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    LinearServicePredictor,
+    MlpServicePredictor,
+    profile_app,
+    relative_rmse_matrix,
+)
+from repro.workload import get_app
+
+
+class TestLinearPredictor:
+    def test_recovers_linear_relationship(self, rng):
+        x = rng.standard_normal((500, 3))
+        y = 2.0 * x[:, 0] - 1.0 * x[:, 2] + 50.0
+        m = LinearServicePredictor()
+        m.fit(x, y)
+        assert m.coef_[0] == pytest.approx(2.0, abs=0.01)
+        assert m.coef_[2] == pytest.approx(-1.0, abs=0.01)
+        assert m.intercept_ == pytest.approx(50.0, abs=0.01)
+        assert m.rmse(x, y) < 1e-6
+
+    def test_predictions_floored_positive(self, rng):
+        x = rng.standard_normal((100, 2))
+        y = -10.0 + 0.0 * x[:, 0]
+        m = LinearServicePredictor()
+        m.fit(x, y)
+        assert (m.predict(x) > 0).all()
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LinearServicePredictor().predict(np.zeros((1, 2)))
+
+    def test_shape_validation(self, rng):
+        m = LinearServicePredictor()
+        with pytest.raises(ValueError):
+            m.fit(np.zeros(5), np.zeros(5))
+        with pytest.raises(ValueError):
+            m.fit(np.zeros((5, 2)), np.zeros(4))
+
+    def test_predict_one_and_1d_input(self, rng):
+        x = rng.standard_normal((100, 3))
+        y = x[:, 0] + 3.0
+        m = LinearServicePredictor()
+        m.fit(x, y)
+        v = m.predict_one(np.array([1.0, 0.0, 0.0]))
+        assert v == pytest.approx(4.0, abs=0.05)
+
+    def test_residual_std_recorded(self, rng):
+        x = rng.standard_normal((1000, 2))
+        y = x[:, 0] + 10.0 + rng.standard_normal(1000) * 0.5
+        m = LinearServicePredictor()
+        m.fit(x, y)
+        assert m.residual_std_ == pytest.approx(0.5, abs=0.05)
+
+
+class TestMlpPredictor:
+    def test_fits_nonlinear_better_than_linear(self, rng):
+        x = rng.standard_normal((2000, 2))
+        y = x[:, 0] ** 2 + 0.1 * rng.standard_normal(2000)
+        lin = LinearServicePredictor()
+        lin.fit(x, y)
+        mlp = MlpServicePredictor(rng, epochs=40)
+        mlp.fit(x, y)
+        assert mlp.rmse(x, y) < 0.7 * lin.rmse(x, y)
+
+    def test_unfitted_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            MlpServicePredictor(rng).predict(np.zeros((1, 2)))
+
+    def test_predictions_positive(self, rng):
+        x = rng.standard_normal((200, 2))
+        y = np.abs(x[:, 0]) + 0.01
+        m = MlpServicePredictor(rng, epochs=10)
+        m.fit(x, y)
+        assert (m.predict(x) > 0).all()
+
+
+class TestProfileApp:
+    def test_returns_matched_shapes(self, rng):
+        app = get_app("xapian")
+        f, w = profile_app(app, rng, n=100, load=0.5)
+        assert f.shape == (100, 3) and w.shape == (100,)
+
+    def test_higher_load_inflates_work(self, rng):
+        app = get_app("xapian")
+        _, w_lo = profile_app(app, rng, n=5000, load=0.0)
+        _, w_hi = profile_app(app, rng, n=5000, load=0.9)
+        assert w_hi.mean() > w_lo.mean() * 1.1
+
+    def test_load_validation(self, rng):
+        with pytest.raises(ValueError):
+            profile_app(get_app("xapian"), rng, load=1.5)
+
+
+class TestRelativeRmseMatrix:
+    def test_diagonal_is_one(self, rng):
+        app = get_app("masstree")
+        m = relative_rmse_matrix(app, (0.2, 0.5, 0.9), rng, n_train=1500, n_test=1500)
+        assert np.allclose(np.diag(m), 1.0)
+
+    def test_offdiagonal_degrades(self, rng):
+        """Fig 2's shape: transferring across a large load gap hurts."""
+        app = get_app("masstree")
+        m = relative_rmse_matrix(app, (0.2, 0.9), rng, n_train=4000, n_test=4000)
+        assert m[1, 0] > 1.15  # high-load model on low-load data
+        assert max(m[0, 1], m[1, 0]) > 1.2

@@ -1,0 +1,35 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out and "table2" in out
+
+    def test_experiment_fig5(self, capsys):
+        assert main(["experiment", "fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "scaleFunc" in out
+
+    def test_experiment_unknown_raises(self):
+        with pytest.raises(KeyError):
+            main(["experiment", "fig99"])
+
+    def test_compare_rejects_unknown_policy(self, capsys):
+        rc = main(["compare", "--app", "xapian", "--policies", "nonsense"])
+        assert rc == 2
+
+    def test_train_parser_defaults(self):
+        args = build_parser().parse_args(["train", "--app", "moses"])
+        assert args.app == "moses"
+        assert args.episodes == 0
+        assert args.fn is not None

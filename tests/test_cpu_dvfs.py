@@ -1,0 +1,104 @@
+"""Tests for the DVFS frequency table."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu import DEFAULT_TABLE, FrequencyTable
+
+
+class TestConstruction:
+    def test_default_levels_span_paper_range(self):
+        t = DEFAULT_TABLE
+        assert t.levels[0] == pytest.approx(0.8)
+        assert t.levels[-2] == pytest.approx(2.1)
+        assert t.levels[-1] == pytest.approx(3.0)
+        assert t.num_levels == 15  # 14 sustained P-states + turbo
+
+    def test_invalid_ordering_raises(self):
+        with pytest.raises(ValueError):
+            FrequencyTable(fmin=2.0, fmax=1.0)
+        with pytest.raises(ValueError):
+            FrequencyTable(fmax=3.5, turbo=3.0)
+        with pytest.raises(ValueError):
+            FrequencyTable(step=0.0)
+
+    def test_sustained_levels_exclude_turbo(self):
+        t = DEFAULT_TABLE
+        assert t.turbo not in t.sustained_levels
+        assert len(t.sustained_levels) == t.num_levels - 1
+
+
+class TestQuantize:
+    def test_exact_level_maps_to_itself(self):
+        t = DEFAULT_TABLE
+        for lv in t.levels:
+            assert t.quantize(lv) == pytest.approx(lv)
+
+    def test_ceils_within_sustained_range(self):
+        t = DEFAULT_TABLE
+        assert t.quantize(1.01) == pytest.approx(1.1)
+        assert t.quantize(1.55) == pytest.approx(1.6)
+
+    def test_below_min_clamps(self):
+        assert DEFAULT_TABLE.quantize(0.1) == pytest.approx(0.8)
+
+    def test_between_fmax_and_turbo_clamps_to_fmax(self):
+        assert DEFAULT_TABLE.quantize(2.5) == pytest.approx(2.1)
+
+    def test_at_or_above_turbo_returns_turbo(self):
+        assert DEFAULT_TABLE.quantize(3.0) == pytest.approx(3.0)
+        assert DEFAULT_TABLE.quantize(9.9) == pytest.approx(3.0)
+
+    def test_array_matches_scalar(self):
+        t = DEFAULT_TABLE
+        freqs = np.linspace(0.0, 4.0, 101)
+        arr = t.quantize_array(freqs)
+        for f, q in zip(freqs, arr):
+            assert q == pytest.approx(t.quantize(f))
+
+
+class TestScoreMapping:
+    def test_from_score_endpoints(self):
+        t = DEFAULT_TABLE
+        assert t.from_score(0.0) == pytest.approx(t.fmin)
+        assert t.from_score(1.0) == pytest.approx(t.fmax)
+
+    def test_from_score_midpoint(self):
+        t = DEFAULT_TABLE
+        assert t.from_score(0.5) == pytest.approx((t.fmin + t.fmax) / 2)
+
+
+class TestLookup:
+    def test_index_of_levels(self):
+        t = DEFAULT_TABLE
+        assert t.index_of(0.8) == 0
+        assert t.index_of(3.0) == t.num_levels - 1
+
+    def test_index_of_unknown_raises(self):
+        with pytest.raises(ValueError):
+            DEFAULT_TABLE.index_of(1.234)
+
+    def test_contains(self):
+        assert 1.5 in DEFAULT_TABLE
+        assert 1.55 not in DEFAULT_TABLE
+
+
+@given(f=st.floats(min_value=0.0, max_value=10.0, allow_nan=False))
+@settings(max_examples=200, deadline=None)
+def test_property_quantize_returns_valid_level_not_below_request(f):
+    t = DEFAULT_TABLE
+    q = t.quantize(f)
+    assert q in t
+    # never under-provisions within the controllable range
+    if t.fmin <= f <= t.fmax:
+        assert q >= f - 1e-9
+
+
+@given(score=st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+@settings(max_examples=100, deadline=None)
+def test_property_from_score_stays_in_sustained_range(score):
+    t = DEFAULT_TABLE
+    f = t.from_score(score)
+    assert t.fmin - 1e-12 <= f <= t.fmax + 1e-12

@@ -1,0 +1,93 @@
+"""Tests for the cpufreq governor implementations."""
+
+import numpy as np
+import pytest
+
+from repro.cpu import (
+    ConservativeGovernor,
+    Cpu,
+    OndemandGovernor,
+    PerformanceGovernor,
+    PowersaveGovernor,
+    UserspaceGovernor,
+)
+from repro.sim import Engine
+
+
+class TestStaticGovernors:
+    def test_performance_pins_turbo(self, engine, cpu):
+        PerformanceGovernor(engine, cpu).start()
+        assert np.allclose(cpu.frequencies(), cpu.table.turbo)
+
+    def test_performance_without_turbo(self, engine, cpu):
+        PerformanceGovernor(engine, cpu, use_turbo=False).start()
+        assert np.allclose(cpu.frequencies(), cpu.table.fmax)
+
+    def test_powersave_pins_fmin(self, engine, cpu):
+        PowersaveGovernor(engine, cpu).start()
+        assert np.allclose(cpu.frequencies(), cpu.table.fmin)
+
+    def test_userspace_set_speed(self, engine, cpu):
+        gov = UserspaceGovernor(engine, cpu)
+        gov.start()
+        applied = gov.set_speed(1, 1.33)
+        assert applied == pytest.approx(1.4)
+        assert cpu[1].frequency == pytest.approx(1.4)
+        assert cpu[0].frequency == pytest.approx(cpu.table.fmax)
+
+
+class TestOndemand:
+    def _run_busy(self, engine, cpu, busy: bool, duration: float):
+        for c in cpu.cores:
+            c.set_busy(busy)
+        engine.run_until(engine.now + duration)
+
+    def test_bursts_to_max_when_busy(self, engine, cpu):
+        gov = OndemandGovernor(engine, cpu, sampling_rate=0.01)
+        gov.start()
+        self._run_busy(engine, cpu, True, 0.1)
+        assert np.allclose(cpu.frequencies(), cpu.table.turbo)
+
+    def test_drops_toward_min_when_idle(self, engine, cpu):
+        gov = OndemandGovernor(engine, cpu, sampling_rate=0.01)
+        gov.start()
+        self._run_busy(engine, cpu, True, 0.05)
+        self._run_busy(engine, cpu, False, 0.2)
+        assert np.allclose(cpu.frequencies(), cpu.table.fmin)
+
+    def test_stop_halts_sampling(self, engine, cpu):
+        gov = OndemandGovernor(engine, cpu, sampling_rate=0.01)
+        gov.start()
+        gov.stop()
+        self._run_busy(engine, cpu, True, 0.1)
+        assert np.allclose(cpu.frequencies(), cpu.table.fmax)  # untouched
+
+    def test_invalid_threshold(self, engine, cpu):
+        with pytest.raises(ValueError):
+            OndemandGovernor(engine, cpu, up_threshold=1.5)
+
+    def test_invalid_sampling_rate(self, engine, cpu):
+        with pytest.raises(ValueError):
+            OndemandGovernor(engine, cpu, sampling_rate=0.0)
+
+
+class TestConservative:
+    def test_steps_up_one_level_per_sample(self, engine, cpu):
+        cpu.set_all_frequencies(1.0)
+        gov = ConservativeGovernor(engine, cpu, sampling_rate=0.01)
+        gov.start()
+        for c in cpu.cores:
+            c.set_busy(True)
+        engine.run_until(0.03)  # 3 samples
+        assert np.allclose(cpu.frequencies(), 1.3)
+
+    def test_steps_down_when_idle(self, engine, cpu):
+        cpu.set_all_frequencies(1.0)
+        gov = ConservativeGovernor(engine, cpu, sampling_rate=0.01)
+        gov.start()
+        engine.run_until(0.02)  # 2 idle samples
+        assert np.allclose(cpu.frequencies(), 0.8)
+
+    def test_threshold_validation(self, engine, cpu):
+        with pytest.raises(ValueError):
+            ConservativeGovernor(engine, cpu, up_threshold=0.2, down_threshold=0.5)

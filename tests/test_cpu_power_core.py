@@ -1,0 +1,155 @@
+"""Tests for the power model and single-core energy accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu import DEFAULT_POWER_MODEL, DEFAULT_TABLE, Core, PowerModel
+from repro.sim import Engine
+
+
+class TestPowerModel:
+    def test_power_increases_with_frequency(self):
+        pm = DEFAULT_POWER_MODEL
+        freqs = np.linspace(0.8, 3.0, 23)
+        powers = [pm.core_power(f, busy=True) for f in freqs]
+        assert all(b > a for a, b in zip(powers, powers[1:]))
+
+    def test_busy_exceeds_idle_at_same_frequency(self):
+        pm = DEFAULT_POWER_MODEL
+        for f in (0.8, 1.5, 3.0):
+            assert pm.core_power(f, True) > pm.core_power(f, False)
+
+    def test_energy_per_cycle_decreases_with_frequency(self):
+        """The DVFS premise: joules per unit work shrink at lower f."""
+        pm = DEFAULT_POWER_MODEL
+        per_cycle = [pm.core_power(f, True) / f for f in (0.8, 1.5, 2.1, 3.0)]
+        assert all(b > a for a, b in zip(per_cycle, per_cycle[1:]))
+
+    def test_array_matches_scalar(self):
+        pm = DEFAULT_POWER_MODEL
+        freqs = np.array([0.8, 1.5, 3.0])
+        busy = np.array([True, False, True])
+        arr = pm.core_power_array(freqs, busy)
+        for f, b, p in zip(freqs, busy, arr):
+            assert p == pytest.approx(pm.core_power(f, bool(b)))
+
+    def test_socket_power_adds_package_constant(self):
+        pm = DEFAULT_POWER_MODEL
+        freqs = np.full(4, 2.1)
+        busy = np.ones(4, dtype=bool)
+        total = pm.socket_power(freqs, busy)
+        assert total == pytest.approx(
+            pm.package_watts + 4 * pm.core_power(2.1, True)
+        )
+
+    def test_voltage_affine(self):
+        pm = PowerModel(v0=0.5, v1=0.2)
+        assert pm.voltage(2.0) == pytest.approx(0.9)
+
+    def test_dynamic_range_spans_table(self):
+        lo, hi = DEFAULT_POWER_MODEL.dynamic_range(DEFAULT_TABLE)
+        assert hi > 3 * lo  # meaningful DVFS headroom
+
+
+class TestCoreEnergy:
+    def test_energy_is_exact_power_times_time(self):
+        eng = Engine()
+        core = Core(eng, 0, DEFAULT_TABLE, DEFAULT_POWER_MODEL)
+        p_idle = DEFAULT_POWER_MODEL.core_power(DEFAULT_TABLE.fmax, False)
+        eng.run_until(10.0)
+        assert core.energy_joules() == pytest.approx(10.0 * p_idle)
+
+    def test_energy_accounts_for_state_changes(self):
+        eng = Engine()
+        core = Core(eng, 0, DEFAULT_TABLE, DEFAULT_POWER_MODEL)
+        pm = DEFAULT_POWER_MODEL
+        eng.run_until(1.0)
+        core.set_busy(True)
+        eng.run_until(3.0)
+        core.set_frequency(1.0)
+        eng.run_until(6.0)
+        expected = (
+            1.0 * pm.core_power(2.1, False)
+            + 2.0 * pm.core_power(2.1, True)
+            + 3.0 * pm.core_power(1.0, True)
+        )
+        assert core.energy_joules() == pytest.approx(expected)
+
+    def test_busy_seconds_tracks_busy_time_only(self):
+        eng = Engine()
+        core = Core(eng, 0, DEFAULT_TABLE, DEFAULT_POWER_MODEL)
+        eng.run_until(2.0)
+        core.set_busy(True)
+        eng.run_until(5.0)
+        core.set_busy(False)
+        eng.run_until(7.0)
+        assert core.busy_seconds() == pytest.approx(3.0)
+
+    def test_set_frequency_quantizes(self):
+        eng = Engine()
+        core = Core(eng, 0, DEFAULT_TABLE, DEFAULT_POWER_MODEL)
+        applied = core.set_frequency(1.23)
+        assert applied == pytest.approx(1.3)
+        assert core.frequency == pytest.approx(1.3)
+
+    def test_noop_frequency_write_costs_no_switch(self):
+        eng = Engine()
+        core = Core(eng, 0, DEFAULT_TABLE, DEFAULT_POWER_MODEL)
+        core.set_frequency(1.5)
+        n = core.switch_count
+        core.set_frequency(1.5)
+        core.set_frequency(1.45)  # quantizes to 1.5 -> still no-op
+        assert core.switch_count == n
+
+    def test_frequency_listener_invoked_on_real_change(self):
+        eng = Engine()
+        core = Core(eng, 0, DEFAULT_TABLE, DEFAULT_POWER_MODEL)
+        calls = []
+        core.add_frequency_listener(lambda c, old, new: calls.append((old, new)))
+        core.set_frequency(1.0)
+        core.set_frequency(1.0)
+        assert calls == [(2.1, 1.0)]
+
+    def test_work_rate_equals_frequency(self):
+        eng = Engine()
+        core = Core(eng, 0, DEFAULT_TABLE, DEFAULT_POWER_MODEL)
+        core.set_frequency(1.5)
+        assert core.work_rate() == pytest.approx(1.5)
+        assert core.time_for_work(3.0) == pytest.approx(2.0)
+
+    def test_set_busy_idempotent(self):
+        eng = Engine()
+        core = Core(eng, 0, DEFAULT_TABLE, DEFAULT_POWER_MODEL)
+        core.set_busy(True)
+        core.set_busy(True)
+        eng.run_until(1.0)
+        assert core.busy_seconds() == pytest.approx(1.0)
+
+
+@given(
+    segments=st.lists(
+        st.tuples(
+            st.floats(min_value=0.01, max_value=5.0),  # duration
+            st.sampled_from([0.8, 1.2, 1.7, 2.1, 3.0]),  # frequency
+            st.booleans(),  # busy
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_property_energy_equals_piecewise_integral(segments):
+    eng = Engine()
+    core = Core(eng, 0, DEFAULT_TABLE, DEFAULT_POWER_MODEL)
+    pm = DEFAULT_POWER_MODEL
+    expected = 0.0
+    t = 0.0
+    for dur, freq, busy in segments:
+        core.set_frequency(freq)
+        core.set_busy(busy)
+        t += dur
+        eng.run_until(t)
+        expected += pm.core_power(core.frequency, busy) * dur
+    assert core.energy_joules() == pytest.approx(expected, rel=1e-9)

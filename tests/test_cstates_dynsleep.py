@@ -1,0 +1,141 @@
+"""Tests for the C-state substrate and the DynSleep extension policy."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DynSleepPolicy, MaxFrequencyPolicy
+from repro.cpu import DEFAULT_CSTATES, CState, CStateTable, Cpu, IdleGovernor
+from repro.experiments.runner import build_context, run_policy
+from repro.sim import Engine
+from repro.workload import Request, constant_trace
+
+
+class TestCStateTable:
+    def test_default_ordering(self):
+        lat = [s.wake_latency for s in DEFAULT_CSTATES]
+        pwr = [s.power_watts for s in DEFAULT_CSTATES]
+        assert lat == sorted(lat)
+        assert pwr == sorted(pwr, reverse=True)
+
+    def test_deepest_for_idle(self):
+        t = DEFAULT_CSTATES
+        assert t.deepest_for_idle(0.0) is None
+        assert t.deepest_for_idle(1e-5).name == "C1"
+        assert t.deepest_for_idle(1.0).name == "C6"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CStateTable(states=())
+        with pytest.raises(ValueError):
+            CStateTable(states=(
+                CState("deep", 0.1, 1e-4, 1e-3),
+                CState("shallow", 0.3, 1e-6, 1e-5),  # out of order
+            ))
+        with pytest.raises(ValueError):
+            CStateTable(states=(
+                CState("a", 0.1, 1e-6, 1e-5),
+                CState("b", 0.2, 1e-4, 1e-3),  # deeper but MORE power
+            ))
+
+
+class TestIdleGovernor:
+    def _gov(self, engine):
+        cpu = Cpu(engine, 1)
+        return IdleGovernor(engine, cpu[0])
+
+    def test_demotes_through_states_over_time(self, engine):
+        gov = self._gov(engine)
+        gov.enter_idle()
+        engine.run_until(1e-5 + 1e-9)
+        assert gov.state is not None and gov.state.name == "C1"
+        engine.run_until(1e-3)
+        assert gov.state.name == "C6"
+
+    def test_wake_returns_latency_and_resets(self, engine):
+        gov = self._gov(engine)
+        gov.enter_idle()
+        engine.run_until(1e-3)
+        latency = gov.wake()
+        assert latency == pytest.approx(1e-4)
+        assert gov.state is None
+        assert gov.wake_count == 1
+
+    def test_wake_without_sleep_is_free(self, engine):
+        gov = self._gov(engine)
+        gov.enter_idle()
+        assert gov.wake() == 0.0
+        assert gov.wake_count == 0
+
+    def test_residency_accounting(self, engine):
+        gov = self._gov(engine)
+        gov.enter_idle()
+        engine.run_until(0.01)
+        gov.wake()
+        assert gov.residency["C6"] > 0
+        assert sum(gov.residency.values()) < 0.01 + 1e-9
+
+    def test_energy_credit_positive_for_long_idle(self, engine):
+        gov = self._gov(engine)
+        gov.enter_idle()
+        engine.run_until(1.0)
+        assert gov.idle_energy_credit() > 0.0
+
+    def test_enter_idle_idempotent(self, engine):
+        gov = self._gov(engine)
+        gov.enter_idle()
+        gov.enter_idle()
+        engine.run_until(0.01)
+        assert gov.state is not None
+
+
+class TestDynSleep:
+    def test_postpones_under_light_load(self, tiny_app):
+        ctx = build_context(tiny_app, constant_trace(2.0, 10.0), 2, 3)
+        pol = DynSleepPolicy(ctx, pad=1.5)
+        pol.start()
+        ctx.source.start()
+        ctx.engine.run_until(10.0)
+        assert pol.postpone_count > 0
+        assert pol.postponed_seconds > 0.0
+
+    def test_no_postpone_with_backlog(self, tiny_app):
+        # Saturating load: the queue is never empty, so no postponement.
+        rate = tiny_app.rps_for_load(2.0, 2)
+        ctx = build_context(tiny_app, constant_trace(rate, 1.0), 2, 3)
+        pol = DynSleepPolicy(ctx)
+        pol.start()
+        ctx.source.start()
+        ctx.engine.run_until(1.0)
+        assert pol.postpone_count / max(1, ctx.server.metrics.arrived) < 0.2
+
+    def test_accumulates_deep_residency(self, tiny_app):
+        ctx = build_context(tiny_app, constant_trace(1.0, 20.0), 2, 3)
+        pol = DynSleepPolicy(ctx)
+        pol.start()
+        ctx.source.start()
+        ctx.engine.run_until(20.0)
+        assert pol.deep_state_residency() > 5.0
+        assert pol.sleep_energy_saved() > 0.0
+
+    def test_mostly_meets_sla_despite_postponing(self, tiny_app):
+        rate = tiny_app.rps_for_load(0.3, 2)
+        res = run_policy(
+            lambda ctx: DynSleepPolicy(ctx, pad=2.0),
+            tiny_app, constant_trace(rate, 20.0), 2, seed=7,
+        )
+        assert res.metrics.timeout_rate < 0.06
+        assert res.metrics.completed > 50
+
+    def test_pad_validation(self, tiny_app):
+        ctx = build_context(tiny_app, constant_trace(1.0, 1.0), 2, 3)
+        with pytest.raises(ValueError):
+            DynSleepPolicy(ctx, pad=0.5)
+
+    def test_latency_shifted_toward_deadline(self, tiny_app):
+        """DynSleep's signature: latencies cluster nearer the SLA than the
+        run-immediately baseline's."""
+        rate = tiny_app.rps_for_load(0.2, 2)
+        trace = constant_trace(rate, 20.0)
+        base = run_policy(lambda ctx: MaxFrequencyPolicy(ctx), tiny_app, trace, 2, seed=9)
+        dyn = run_policy(lambda ctx: DynSleepPolicy(ctx, pad=1.5), tiny_app, trace, 2, seed=9)
+        assert dyn.metrics.mean_latency > base.metrics.mean_latency * 1.5

@@ -1,0 +1,176 @@
+"""Tests for the experiment harness (runner, calibration, registry, modules)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MaxFrequencyPolicy, RetailPolicy
+from repro.experiments import (
+    REGISTRY,
+    SMOKE,
+    active_profile,
+    build_context,
+    calibrate_to_sla,
+    evaluation_trace,
+    get_experiment,
+    list_experiments,
+    run_policy,
+    workers_for,
+)
+from repro.experiments.fig1_cdf import run_fig1
+from repro.experiments.fig2_rmse import run_fig2
+from repro.experiments.fig5_scalefunc import run_fig5
+from repro.experiments.fig6_workload import run_fig6
+from repro.experiments.fig11_fixed_params import run_fig11
+from repro.experiments.overhead import run_overhead
+from repro.experiments.table2_inference import run_table2
+from repro.workload import constant_trace, get_app
+
+
+class TestRunner:
+    def test_run_policy_produces_complete_metrics(self, tiny_app):
+        trace = constant_trace(tiny_app.rps_for_load(0.4, 2), 8.0)
+        res = run_policy(lambda ctx: MaxFrequencyPolicy(ctx), tiny_app, trace, 2, seed=1)
+        m = res.metrics
+        assert m.completed > 100
+        assert m.energy_joules > 0
+        assert m.avg_power_watts == pytest.approx(m.energy_joules / 8.0)
+        assert m.duration == 8.0
+
+    def test_drain_completes_inflight_requests(self, tiny_app):
+        trace = constant_trace(tiny_app.rps_for_load(0.6, 2), 4.0)
+        res = run_policy(lambda ctx: MaxFrequencyPolicy(ctx), tiny_app, trace, 2, seed=1)
+        # open-loop generated == completed after the grace drain
+        assert res.metrics.timeouts >= 0
+        assert res.metrics.completed >= res.metrics.throughput * 4.0 * 0.95
+
+    def test_extras_fn_collects_artifacts(self, tiny_app):
+        trace = constant_trace(10.0, 2.0)
+        res = run_policy(
+            lambda ctx: MaxFrequencyPolicy(ctx), tiny_app, trace, 2, seed=1,
+            extras_fn=lambda ctx, drv: {"switches": ctx.cpu.total_switches()},
+        )
+        assert "switches" in res.extras
+
+    def test_seed_reproducibility(self, tiny_app):
+        trace = constant_trace(tiny_app.rps_for_load(0.4, 2), 5.0)
+        a = run_policy(lambda ctx: MaxFrequencyPolicy(ctx), tiny_app, trace, 2, seed=42)
+        b = run_policy(lambda ctx: MaxFrequencyPolicy(ctx), tiny_app, trace, 2, seed=42)
+        assert a.metrics.tail_latency == b.metrics.tail_latency
+        assert a.metrics.energy_joules == b.metrics.energy_joules
+
+    def test_build_context_components(self, tiny_app):
+        ctx = build_context(tiny_app, constant_trace(5.0, 1.0), 2, 1)
+        assert ctx.cpu.num_cores == 2
+        assert ctx.server.num_workers == 2
+        assert ctx.app is tiny_app
+
+
+class TestCalibration:
+    def test_hits_target_fraction(self, tiny_app, rngs):
+        from repro.workload import diurnal_trace
+
+        base = diurnal_trace(rngs.get("t"), duration=20.0, num_segments=10)
+        cal = calibrate_to_sla(
+            tiny_app, base, num_cores=2, target_fraction=0.6, tol=0.15
+        )
+        assert cal.baseline_p99_fraction == pytest.approx(0.6, rel=0.3)
+        assert 0.0 < cal.mean_load < 1.0
+
+    def test_validation(self, tiny_app, rngs):
+        from repro.workload import diurnal_trace
+
+        base = diurnal_trace(rngs.get("t"), duration=10.0, num_segments=5)
+        with pytest.raises(ValueError):
+            calibrate_to_sla(tiny_app, base, 2, target_fraction=0.0)
+
+
+class TestScenarios:
+    def test_profile_selection(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert active_profile().name == "smoke"
+        assert active_profile(full=True).name == "full"
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert active_profile().name == "full"
+
+    def test_workers_for_masstree_half_socket(self):
+        assert workers_for("masstree", 8) == 4
+        assert workers_for("xapian", 8) == 8
+
+    def test_evaluation_trace_matches_profile(self):
+        t = evaluation_trace(SMOKE)
+        assert t.duration == pytest.approx(SMOKE.trace_duration)
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        ids = set(REGISTRY)
+        required = {
+            "fig1", "fig2", "table2", "table3", "fig4", "fig5", "fig6",
+            "fig7", "fig8", "fig9", "fig10", "fig11", "overhead",
+        }
+        assert required <= ids
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_experiment("fig99")
+
+    def test_list_sorted(self):
+        exps = list_experiments()
+        assert [e.id for e in exps] == sorted(e.id for e in exps)
+
+
+class TestCheapExperiments:
+    """Each fast experiment runs end-to-end at reduced scale and shows the
+    paper's qualitative shape."""
+
+    def test_fig1_moses_longest_tail(self):
+        res = run_fig1(n=4000, seed=1)
+        ratios = {k: v.tail_ratio_p99 for k, v in res.items()}
+        assert max(ratios, key=ratios.get) == "moses"
+        assert all(v.x[0] >= 0 for v in res.values())
+
+    def test_fig2_offdiagonal_exceeds_diagonal(self):
+        res = run_fig2(apps=("masstree",), loads=(0.2, 0.9), n=2500, seed=1)
+        m = res["masstree"].matrix
+        assert np.allclose(np.diag(m), 1.0)
+        assert m[1, 0] > 1.1
+
+    def test_table2_all_algorithms_timed(self):
+        res = run_table2(repetitions=50)
+        assert set(res) == {"DQN", "DDQN", "DDPG", "SAC"}
+        assert all(t.mean_us > 1.0 for t in res.values())
+        # the motivating conclusion: inference is tens of microseconds+
+        assert res["DDPG"].mean_us > 10.0
+
+    def test_fig5_change_point_at_eta(self):
+        res = run_fig5(eta=50.0)
+        assert res.change_point == pytest.approx(50.0, rel=0.1)
+        assert res.y[0] == pytest.approx(0.0, abs=1e-6)
+        assert res.y[-1] > 0.8
+
+    def test_fig6_diurnal_statistics(self):
+        res = run_fig6(seed=3, duration=60.0, segments=30)
+        assert res.daily_autocorr > 0.5
+        assert res.peak_mean_ratio > 1.3
+        assert len(res.downsampled.rates) == 30
+
+    def test_fig11_ordering(self):
+        res = run_fig11(window_physical=0.02, full=False)
+        settings_list = list(res)
+        floors = [res[s].idle_floor for s in settings_list]
+        ramps = [res[s].mean_busy_ramp for s in settings_list]
+        assert floors == sorted(floors)  # idle floor grows with BaseFreq
+        assert ramps == sorted(ramps, reverse=True)  # ramp grows with coef
+
+    def test_overhead_within_paper_budgets(self):
+        res = run_overhead(updates=5, inferences=100)
+        assert res.update_ms_batch64 < 50.0  # paper: 13 ms
+        assert res.inference_us < 1000.0  # paper: < 1 ms
+        assert res.actor_parameters > 1000
+
+
+class TestRenderers:
+    def test_every_cheap_experiment_renders_text(self):
+        for eid in ("fig5",):
+            out = get_experiment(eid).execute()
+            assert isinstance(out, str) and len(out) > 10

@@ -1,0 +1,143 @@
+"""Analytic queueing models + validation of the simulator against them.
+
+The M/M/c cross-check is the strongest correctness test in the suite: it
+exercises the arrival process, FIFO queue, worker pool, frequency-scaled
+execution and the latency bookkeeping simultaneously against closed-form
+theory.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import MmcQueue, erlang_c, mdc_mean_wait, mg1_mean_wait
+from repro.cpu import Cpu
+from repro.server import Server
+from repro.sim import Engine, RngRegistry
+from repro.workload import OpenLoopSource, Request, constant_trace
+from repro.workload.apps import AppSpec
+from repro.workload.service_time import ServiceModel
+
+
+class _ExponentialService(ServiceModel):
+    """Exponential work with unit-variance features (M/M/c test double)."""
+
+    def __init__(self, mean_work: float):
+        self._mean = mean_work
+
+    def sample(self, rng):
+        return float(rng.exponential(self._mean)), rng.standard_normal(3)
+
+    def sample_batch(self, rng, n):
+        return rng.exponential(self._mean, n), rng.standard_normal((n, 3))
+
+    def expected_work(self) -> float:
+        return self._mean
+
+
+class TestErlangC:
+    def test_mm1_reduces_to_rho(self):
+        for rho in (0.1, 0.5, 0.9):
+            assert erlang_c(1, rho) == pytest.approx(rho)
+
+    def test_more_servers_less_waiting(self):
+        # same utilization, more servers -> less queueing
+        assert erlang_c(8, 0.7 * 8) < erlang_c(2, 0.7 * 2)
+
+    def test_zero_load(self):
+        assert erlang_c(4, 0.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            erlang_c(0, 0.0)
+        with pytest.raises(ValueError):
+            erlang_c(2, 2.0)
+
+
+class TestMmcFormulas:
+    def test_mm1_mean_wait_closed_form(self):
+        # Wq = rho / (mu - lambda) for M/M/1
+        q = MmcQueue(arrival_rate=0.5, service_rate=1.0, servers=1)
+        assert q.mean_wait == pytest.approx(0.5 / 0.5)
+        assert q.mean_sojourn == pytest.approx(q.mean_wait + 1.0)
+
+    def test_littles_law(self):
+        q = MmcQueue(6.0, 1.0, 8)
+        assert q.mean_queue_length == pytest.approx(6.0 * q.mean_wait)
+
+    def test_unstable_raises(self):
+        with pytest.raises(ValueError):
+            MmcQueue(2.0, 1.0, 2)
+
+    def test_sojourn_quantile_monotone(self):
+        q = MmcQueue(3.0, 1.0, 4)
+        qs = [q.sojourn_quantile(p) for p in (0.5, 0.9, 0.99)]
+        assert qs == sorted(qs)
+
+    def test_sojourn_median_close_to_mean_order(self):
+        q = MmcQueue(1.0, 1.0, 2)
+        assert 0.1 < q.sojourn_quantile(0.5) < q.mean_sojourn * 2
+
+    def test_mg1_pollaczek_khinchine(self):
+        # Exponential service (scv=1) reduces to M/M/1.
+        w_mm1 = MmcQueue(0.5, 1.0, 1).mean_wait
+        assert mg1_mean_wait(0.5, 1.0, 1.0) == pytest.approx(w_mm1)
+        # Deterministic service halves the wait.
+        assert mg1_mean_wait(0.5, 1.0, 0.0) == pytest.approx(w_mm1 / 2)
+
+    def test_mdc_half_of_mmc(self):
+        assert mdc_mean_wait(3.0, 1.0, 4) == pytest.approx(
+            MmcQueue(3.0, 1.0, 4).mean_wait / 2
+        )
+
+
+class TestSimulatorAgainstTheory:
+    def _simulate(self, servers, util, mean_service, duration=400.0, seed=5):
+        """Run the real server stack as an M/M/c and collect latencies."""
+        engine = Engine()
+        rngs = RngRegistry(seed)
+        cpu = Cpu(engine, servers)
+        cpu.set_all_frequencies(1.0)  # work units == seconds at 1 GHz
+        app = AppSpec(
+            name="mmc", sla=1e9,  # no timeouts; pure queueing test
+            service=_ExponentialService(mean_service),
+            contention=0.0,  # theory assumes no interference
+        )
+        srv = Server(engine, cpu, app)
+        lam = util * servers / mean_service
+        src = OpenLoopSource(
+            engine, constant_trace(lam, duration), app.service, app.sla,
+            srv.submit, rngs.get("arr"),
+        )
+        src.start()
+        engine.run_until(duration + 50 * mean_service)
+        return np.array(srv.metrics.latencies), lam
+
+    @pytest.mark.parametrize("servers,util", [(1, 0.5), (2, 0.6), (4, 0.7)])
+    def test_mmc_mean_sojourn_matches_theory(self, servers, util):
+        mean_service = 0.05
+        lats, lam = self._simulate(servers, util, mean_service)
+        theory = MmcQueue(lam, 1.0 / mean_service, servers)
+        assert len(lats) > 3000
+        assert lats.mean() == pytest.approx(theory.mean_sojourn, rel=0.08)
+
+    def test_mmc_p95_matches_theory(self):
+        mean_service = 0.05
+        lats, lam = self._simulate(2, 0.6, mean_service, duration=600.0)
+        theory = MmcQueue(lam, 1.0 / mean_service, 2)
+        assert np.quantile(lats, 0.95) == pytest.approx(
+            theory.sojourn_quantile(0.95), rel=0.1
+        )
+
+    def test_frequency_scales_service_exactly(self):
+        """At half frequency the same work takes exactly twice as long."""
+        for freq, expect in ((2.0, 0.5), (1.0, 1.0)):
+            engine = Engine()
+            cpu = Cpu(engine, 1)
+            cpu.set_all_frequencies(freq)
+            app = AppSpec(name="d", sla=1e9, service=_ExponentialService(1.0), contention=0.0)
+            srv = Server(engine, cpu, app)
+            req = Request(req_id=0, arrival_time=0.0, work=1.0,
+                          features=np.zeros(3), sla=1e9)
+            srv.submit(req)
+            engine.run_until(10.0)
+            assert req.service_time == pytest.approx(expect)

@@ -1,0 +1,200 @@
+"""Tests for the server (dispatch, queueing, contention, telemetry)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu import Cpu
+from repro.server import Server
+from repro.server.server import CONTENTION_SIZE_CAP, contention_inflation
+from repro.sim import Engine, RngRegistry
+from repro.workload import OpenLoopSource, Request, constant_trace
+
+
+def _req(i=0, arrival=0.0, work=1.0, sla=10.0):
+    return Request(req_id=i, arrival_time=arrival, work=work, features=np.zeros(3), sla=sla)
+
+
+class TestContentionInflation:
+    def test_idle_system_no_inflation(self):
+        assert contention_inflation(0.5, 0.0, 1.0, 1.0) == pytest.approx(1.0)
+
+    def test_grows_with_rho_and_size(self):
+        a = contention_inflation(0.5, 0.2, 1.0, 1.0)
+        b = contention_inflation(0.5, 0.8, 1.0, 1.0)
+        c = contention_inflation(0.5, 0.8, 2.0, 1.0)
+        assert a < b < c
+
+    def test_size_cap(self):
+        capped = contention_inflation(0.5, 1.0, 100.0, 1.0)
+        assert capped == pytest.approx(1.0 + 0.5 * CONTENTION_SIZE_CAP)
+
+    def test_array_input(self):
+        out = contention_inflation(0.5, 0.5, np.array([0.5, 1.0, 10.0]), 1.0)
+        assert out.shape == (3,)
+        assert out[0] < out[1] < out[2]
+
+
+class TestServerDispatch:
+    def _mk(self, engine, tiny_app, cores=2):
+        cpu = Cpu(engine, cores)
+        return Server(engine, cpu, tiny_app, keep_requests=True), cpu
+
+    def test_immediate_dispatch_when_idle(self, engine, tiny_app):
+        srv, _ = self._mk(engine, tiny_app)
+        srv.submit(_req(0))
+        assert srv.busy_workers() == 1
+        assert len(srv.queue) == 0
+
+    def test_queues_when_all_busy(self, engine, tiny_app):
+        srv, _ = self._mk(engine, tiny_app, cores=1)
+        srv.submit(_req(0, work=100.0))
+        srv.submit(_req(1))
+        assert len(srv.queue) == 1
+
+    def test_queue_drains_fifo_on_completion(self, engine, tiny_app):
+        srv, cpu = self._mk(engine, tiny_app, cores=1)
+        cpu.set_all_frequencies(1.0)
+        for i in range(3):
+            srv.submit(_req(i, work=1.0))
+        engine.run_until(10.0)
+        ids = [r.req_id for r in srv.metrics.requests]
+        assert ids == [0, 1, 2]
+
+    def test_worker_validation(self, engine, tiny_app):
+        cpu = Cpu(engine, 2)
+        with pytest.raises(ValueError):
+            Server(engine, cpu, tiny_app, num_workers=3)
+        with pytest.raises(ValueError):
+            Server(engine, cpu, tiny_app, num_workers=0)
+
+    def test_num_workers_subset_of_cores(self, engine, tiny_app):
+        cpu = Cpu(engine, 4)
+        srv = Server(engine, cpu, tiny_app, num_workers=2)
+        assert srv.num_workers == 2
+        for i in range(4):
+            srv.submit(_req(i, work=50.0))
+        assert srv.busy_workers() == 2
+        assert len(srv.queue) == 2
+
+    def test_contention_inflates_effective_work(self, engine, tiny_app):
+        srv, _ = self._mk(engine, tiny_app, cores=2)
+        srv.submit(_req(0, work=1.0))
+        r1 = _req(1, work=1.0)
+        srv.submit(r1)  # dispatched at rho = 0.5
+        expected = contention_inflation(
+            tiny_app.contention, 0.5, 1.0, tiny_app.service.expected_work()
+        )
+        assert r1.effective_work == pytest.approx(expected)
+
+    def test_begin_times_are_arrival_times(self, engine, tiny_app):
+        srv, _ = self._mk(engine, tiny_app)
+        engine.run_until(1.0)
+        r = _req(0, arrival=0.4)
+        srv.submit(r)
+        bt = srv.begin_times()
+        assert bt[0] == pytest.approx(0.4)
+        assert bt[1] is None
+
+    def test_policy_hooks_invoked_in_order(self, engine, tiny_app):
+        srv, cpu = self._mk(engine, tiny_app, cores=1)
+        cpu.set_all_frequencies(2.1)
+        events = []
+
+        class Hooks:
+            def on_arrival(self, r):
+                events.append(("arrival", r.req_id))
+
+            def on_start(self, r, core):
+                events.append(("start", r.req_id))
+
+            def on_complete(self, r, core):
+                events.append(("complete", r.req_id))
+
+        srv.set_policy(Hooks())
+        srv.submit(_req(0, work=0.1))
+        engine.run_until(1.0)
+        assert events == [("arrival", 0), ("start", 0), ("complete", 0)]
+
+    def test_set_policy_none_resets(self, engine, tiny_app):
+        srv, _ = self._mk(engine, tiny_app)
+        srv.set_policy(None)
+        srv.submit(_req(0))  # must not raise
+
+
+class TestConservation:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_property_requests_conserved(self, seed):
+        """arrived == completed + queued + in-flight at any stop point."""
+        engine = Engine()
+        rngs = RngRegistry(seed)
+        from repro.workload import LognormalCorrelatedService
+        from repro.workload.apps import AppSpec
+
+        app = AppSpec(
+            name="t", sla=0.05,
+            service=LognormalCorrelatedService(mean_work=0.02, sigma=0.8, rho=0.5),
+            contention=0.4,
+        )
+        cpu = Cpu(engine, 2)
+        srv = Server(engine, cpu, app)
+        src = OpenLoopSource(
+            engine, constant_trace(150.0, 2.0), app.service, app.sla,
+            srv.submit, rngs.get("arr"),
+        )
+        src.start()
+        engine.run_until(1.0)  # stop mid-trace
+        assert srv.metrics.arrived == (
+            srv.metrics.completed + len(srv.queue) + srv.busy_workers()
+        )
+        assert srv.metrics.arrived == src.generated
+
+
+class TestTelemetry:
+    def test_numreq_counts_window_arrivals(self, engine, tiny_app):
+        cpu = Cpu(engine, 2)
+        srv = Server(engine, cpu, tiny_app)
+        for i in range(5):
+            srv.submit(_req(i, work=100.0))
+        snap = srv.telemetry.snapshot()
+        assert snap.num_req == 5
+        snap2 = srv.telemetry.snapshot()
+        assert snap2.num_req == 0  # window reset
+
+    def test_queue_and_core_fractions(self, engine, tiny_app):
+        cpu = Cpu(engine, 1)
+        cpu.set_all_frequencies(0.8)
+        srv = Server(engine, cpu, tiny_app)
+        engine.run_until(1.0)
+        # One in service (old), two queued with different ages.
+        srv.submit(_req(0, arrival=1.0 - tiny_app.sla * 0.9, work=100.0, sla=tiny_app.sla))
+        srv.submit(_req(1, arrival=1.0 - tiny_app.sla * 0.5, work=1.0, sla=tiny_app.sla))
+        srv.submit(_req(2, arrival=1.0, work=1.0, sla=tiny_app.sla))
+        snap = srv.telemetry.snapshot()
+        assert snap.queue_len == 2
+        # Request 1 has 50% of SLA remaining -> counted under 75% only;
+        # request 2 has ~100% remaining -> not counted.
+        assert snap.queue_frac == (0, 0, 1)
+        # In-service request has 10% remaining -> under 25/50/75.
+        assert snap.core_frac == (1, 1, 1)
+        assert snap.utilization == pytest.approx(1.0)
+
+    def test_state_vector_shape_and_values(self, engine, tiny_app):
+        cpu = Cpu(engine, 2)
+        srv = Server(engine, cpu, tiny_app)
+        srv.submit(_req(0, work=100.0))
+        vec = srv.telemetry.snapshot().state_vector()
+        assert vec.shape == (8,)
+        assert vec[0] == 1.0  # NumReq
+
+    def test_timeout_counted_in_window(self, engine, tiny_app):
+        cpu = Cpu(engine, 1)
+        cpu.set_all_frequencies(2.1)
+        srv = Server(engine, cpu, tiny_app)
+        # Work that takes far longer than the SLA.
+        srv.submit(_req(0, work=tiny_app.sla * 5.0 * 2.1, sla=tiny_app.sla))
+        engine.run_until(tiny_app.sla * 6)
+        snap = srv.telemetry.snapshot()
+        assert snap.timeouts == 1 and snap.completed == 1

@@ -1,0 +1,253 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import PRIORITY_CONTROL, PRIORITY_DEFAULT, Engine, SimulationError
+from repro.sim.engine import drain
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        eng = Engine()
+        fired = []
+        eng.schedule_at(2.0, fired.append, "b")
+        eng.schedule_at(1.0, fired.append, "a")
+        eng.schedule_at(3.0, fired.append, "c")
+        eng.run_until(5.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_fifo_order(self):
+        eng = Engine()
+        fired = []
+        for i in range(10):
+            eng.schedule_at(1.0, fired.append, i)
+        eng.run_until(1.0)
+        assert fired == list(range(10))
+
+    def test_priority_orders_within_timestamp(self):
+        eng = Engine()
+        fired = []
+        eng.schedule_at(1.0, fired.append, "control", priority=PRIORITY_CONTROL)
+        eng.schedule_at(1.0, fired.append, "data", priority=PRIORITY_DEFAULT)
+        eng.run_until(1.0)
+        assert fired == ["data", "control"]
+
+    def test_schedule_after_uses_relative_delay(self):
+        eng = Engine(start_time=10.0)
+        seen = []
+        eng.schedule_after(1.5, lambda: seen.append(eng.now))
+        eng.run_until(20.0)
+        assert seen == [11.5]
+
+    def test_schedule_in_past_raises(self):
+        eng = Engine()
+        eng.run_until(5.0)
+        with pytest.raises(SimulationError):
+            eng.schedule_at(4.0, lambda: None)
+
+    def test_negative_delay_raises(self):
+        eng = Engine()
+        with pytest.raises(SimulationError):
+            eng.schedule_after(-1.0, lambda: None)
+
+    def test_events_scheduled_during_event_fire(self):
+        eng = Engine()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                eng.schedule_after(1.0, chain, n + 1)
+
+        eng.schedule_at(0.5, chain, 0)
+        eng.run_until(10.0)
+        assert fired == [0, 1, 2, 3]
+
+    def test_run_until_exclusive_leaves_boundary_events(self):
+        eng = Engine()
+        fired = []
+        eng.schedule_at(1.0, fired.append, "x")
+        eng.run_until(1.0, inclusive=False)
+        assert fired == []
+        eng.run_until(1.0)
+        assert fired == ["x"]
+
+    def test_clock_advances_to_run_until_time(self):
+        eng = Engine()
+        eng.run_until(42.0)
+        assert eng.now == 42.0
+
+    def test_run_until_past_raises(self):
+        eng = Engine()
+        eng.run_until(5.0)
+        with pytest.raises(SimulationError):
+            eng.run_until(4.0)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        eng = Engine()
+        fired = []
+        h = eng.schedule_at(1.0, fired.append, "x")
+        eng.cancel(h)
+        eng.run_until(2.0)
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        eng = Engine()
+        h = eng.schedule_at(1.0, lambda: None)
+        eng.cancel(h)
+        eng.cancel(h)
+        assert eng.pending_events == 0
+
+    def test_cancel_after_fire_is_noop(self):
+        eng = Engine()
+        fired = []
+        h = eng.schedule_at(1.0, fired.append, 1)
+        eng.run_until(2.0)
+        eng.cancel(h)
+        assert fired == [1]
+
+    def test_heap_compaction_preserves_live_events(self):
+        eng = Engine()
+        fired = []
+        handles = [eng.schedule_at(1.0 + i * 1e-6, lambda: None) for i in range(10000)]
+        keeper = eng.schedule_at(2.0, fired.append, "live")
+        for h in handles:
+            eng.cancel(h)
+        assert eng.pending_events == 1
+        eng.run_until(3.0)
+        assert fired == ["live"]
+
+
+class TestRun:
+    def test_run_drains_heap(self):
+        eng = Engine()
+        fired = []
+        for i in range(5):
+            eng.schedule_at(float(i), fired.append, i)
+        count = eng.run()
+        assert count == 5
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_run_max_events(self):
+        eng = Engine()
+        for i in range(5):
+            eng.schedule_at(float(i), lambda: None)
+        assert eng.run(max_events=3) == 3
+        assert eng.pending_events == 2
+
+    def test_step_returns_false_when_empty(self):
+        assert Engine().step() is False
+
+    def test_reentrancy_guard(self):
+        eng = Engine()
+
+        def evil():
+            eng.run_until(10.0)
+
+        eng.schedule_at(1.0, evil)
+        with pytest.raises(SimulationError):
+            eng.run_until(5.0)
+
+    def test_processed_events_counter(self):
+        eng = Engine()
+        for i in range(3):
+            eng.schedule_at(float(i + 1), lambda: None)
+        eng.run_until(10.0)
+        assert eng.processed_events == 3
+
+
+class TestPeriodicTask:
+    def test_fires_at_fixed_interval(self):
+        eng = Engine()
+        times = []
+        eng.every(1.0, lambda: times.append(eng.now))
+        eng.run_until(5.5)
+        assert times == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_start_delay_zero_fires_immediately(self):
+        eng = Engine()
+        times = []
+        eng.every(1.0, lambda: times.append(eng.now), start_delay=0.0)
+        eng.run_until(2.5)
+        assert times == [0.0, 1.0, 2.0]
+
+    def test_stop_halts_future_firings(self):
+        eng = Engine()
+        count = [0]
+        task = eng.every(1.0, lambda: count.__setitem__(0, count[0] + 1))
+        eng.run_until(2.5)
+        task.stop()
+        eng.run_until(10.0)
+        assert count[0] == 2
+        assert task.stopped
+
+    def test_callback_can_stop_its_own_task(self):
+        eng = Engine()
+        fired = []
+        task = eng.every(1.0, lambda: (fired.append(eng.now), task.stop()))
+        eng.run_until(10.0)
+        assert fired == [1.0]
+
+    def test_no_drift_over_many_firings(self):
+        eng = Engine()
+        times = []
+        eng.every(0.1, lambda: times.append(eng.now))
+        eng.run_until(10.0)
+        assert len(times) == 100
+        assert abs(times[-1] - 10.0) < 1e-9
+
+    def test_invalid_interval_raises(self):
+        with pytest.raises(SimulationError):
+            Engine().every(0.0, lambda: None)
+
+    def test_fire_count(self):
+        eng = Engine()
+        task = eng.every(1.0, lambda: None)
+        eng.run_until(3.5)
+        assert task.fire_count == 3
+
+
+class TestDrain:
+    def test_drain_reaches_horizon(self):
+        eng = Engine()
+        fired = []
+        eng.schedule_at(4.5, fired.append, "x")
+        drain(eng, 5.0, [1.0, 1.0, 1.0])
+        assert eng.now == 5.0
+        assert fired == ["x"]
+
+
+@given(
+    times=st.lists(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=1, max_size=200
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_property_events_fire_in_nondecreasing_time_order(times):
+    eng = Engine()
+    fired = []
+    for t in times:
+        eng.schedule_at(t, lambda t=t: fired.append(eng.now))
+    eng.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(times)
+
+
+@given(
+    n=st.integers(min_value=1, max_value=100),
+    cancel_idx=st.sets(st.integers(min_value=0, max_value=99)),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_cancelled_subset_never_fires(n, cancel_idx):
+    eng = Engine()
+    fired = set()
+    handles = [eng.schedule_at(float(i % 7), lambda i=i: fired.add(i)) for i in range(n)]
+    cancelled = {i for i in cancel_idx if i < n}
+    for i in cancelled:
+        eng.cancel(handles[i])
+    eng.run()
+    assert fired == set(range(n)) - cancelled

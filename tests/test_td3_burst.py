@@ -1,0 +1,150 @@
+"""Tests for the TD3 extension agent and the extra arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.cpu import Cpu
+from repro.nn import TwoHeadMLP
+from repro.rl import Td3Agent, Td3Config
+from repro.server import Server
+from repro.sim import Engine, RngRegistry
+from repro.workload import ClosedLoopSource, mmpp_trace
+from repro.workload.service_time import LognormalCorrelatedService
+from repro.workload.apps import AppSpec
+
+
+def _actor_factory(rng):
+    return lambda: TwoHeadMLP(3, [16], [8], rng, output_activation="sigmoid")
+
+
+class TestTd3:
+    def test_actions_bounded(self, rng):
+        agent = Td3Agent(_actor_factory(rng), Td3Config(state_dim=3, action_dim=2, warmup=0), rng)
+        for _ in range(20):
+            a = agent.act(rng.random(3), explore=True)
+            assert np.all((a >= 0) & (a <= 1))
+
+    def test_delayed_policy_updates(self, rng):
+        cfg = Td3Config(state_dim=3, action_dim=2, warmup=8, batch_size=8, policy_delay=2)
+        agent = Td3Agent(_actor_factory(rng), cfg, rng)
+        for _ in range(16):
+            agent.observe(rng.random(3), rng.random(2), -1.0, rng.random(3))
+        before = agent.actor.get_flat().copy()
+        out1 = agent.update()  # critic only
+        assert np.allclose(agent.actor.get_flat(), before)
+        assert np.isnan(out1["actor_loss"])
+        out2 = agent.update()  # actor too
+        assert not np.allclose(agent.actor.get_flat(), before)
+        assert not np.isnan(out2["actor_loss"])
+
+    def test_warmup_random(self, rng):
+        agent = Td3Agent(_actor_factory(rng), Td3Config(state_dim=3, warmup=100), rng)
+        acts = np.stack([agent.act(rng.random(3)) for _ in range(30)])
+        assert acts.std() > 0.2
+
+    def test_learns_bandit(self, rng):
+        cfg = Td3Config(
+            state_dim=3, action_dim=2, warmup=32, batch_size=32,
+            noise_sigma=0.4, noise_decay=0.995, noise_min_sigma=0.05,
+        )
+        agent = Td3Agent(_actor_factory(rng), cfg, rng)
+        target = np.array([0.75, 0.25])
+        s = rng.random(3)
+        for _ in range(400):
+            a = agent.act(s)
+            r = -float(np.sum((a - target) ** 2))
+            s2 = rng.random(3)
+            agent.observe(s, a, r, s2)
+            agent.update()
+            s = s2
+        final = agent.act(rng.random(3), explore=False)
+        assert np.abs(final - target).max() < 0.35
+
+    def test_update_not_ready(self, rng):
+        agent = Td3Agent(_actor_factory(rng), Td3Config(state_dim=3, warmup=50), rng)
+        assert agent.update() is None
+
+
+class TestMmppTrace:
+    def test_alternating_rates(self, rng):
+        t = mmpp_trace(rng, duration=100.0, calm_rate=10.0, burst_rate=100.0,
+                       mean_calm=5.0, mean_burst=1.0)
+        rates = set(np.unique(t.rates))
+        assert rates <= {10.0, 100.0}
+        assert len(rates) == 2
+        assert t.duration == pytest.approx(100.0)
+
+    def test_dwell_time_proportions(self, rng):
+        t = mmpp_trace(rng, duration=8000.0, calm_rate=1.0, burst_rate=2.0,
+                       mean_calm=8.0, mean_burst=2.0)
+        widths = np.diff(t.edges)
+        calm_time = widths[t.rates == 1.0].sum()
+        burst_time = widths[t.rates == 2.0].sum()
+        assert calm_time / burst_time == pytest.approx(4.0, rel=0.3)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            mmpp_trace(rng, duration=0.0, calm_rate=1.0, burst_rate=2.0,
+                       mean_calm=1.0, mean_burst=1.0)
+        with pytest.raises(ValueError):
+            mmpp_trace(rng, duration=10.0, calm_rate=1.0, burst_rate=2.0,
+                       mean_calm=0.0, mean_burst=1.0)
+
+
+class TestClosedLoopSource:
+    def _setup(self, population=4, think=0.05, duration=20.0):
+        engine = Engine()
+        rngs = RngRegistry(3)
+        cpu = Cpu(engine, 2)
+        app = AppSpec(
+            name="t", sla=1.0,
+            service=LognormalCorrelatedService(mean_work=0.02, sigma=0.4),
+            contention=0.0,
+        )
+        srv = Server(engine, cpu, app)
+        src = ClosedLoopSource(
+            engine, population, think, app.service, app.sla,
+            srv.submit, rngs.get("cl"), duration=duration,
+        )
+
+        class Hook:
+            def on_arrival(self, r): pass
+            def on_start(self, r, c): pass
+            def on_complete(self, r, c): src.notify_complete(r)
+
+        srv.set_policy(Hook())
+        return engine, srv, src
+
+    def test_outstanding_never_exceeds_population(self):
+        engine, srv, src = self._setup(population=3)
+        src.start()
+        # sample in-flight count as the run progresses
+        for t in np.linspace(1.0, 19.0, 10):
+            engine.run_until(t)
+            assert srv.metrics.in_flight <= 3
+        assert src.generated > 10
+
+    def test_throughput_bounded_by_population_law(self):
+        # N clients, think Z, service S: X <= N / (Z + S).
+        engine, srv, src = self._setup(population=4, think=0.05)
+        src.start()
+        engine.run_until(20.0)
+        x = srv.metrics.completed / 20.0
+        bound = 4 / (0.05 + 0.02 / 2.1)
+        assert x <= bound * 1.05
+
+    def test_zero_think_time_saturates(self):
+        engine, srv, src = self._setup(population=2, think=0.0)
+        src.start()
+        engine.run_until(10.0)
+        # with no think time, both clients always have a request in flight
+        assert srv.metrics.completed > 100
+
+    def test_validation(self):
+        engine = Engine()
+        rngs = RngRegistry(0)
+        svc = LognormalCorrelatedService(mean_work=0.02, sigma=0.4)
+        with pytest.raises(ValueError):
+            ClosedLoopSource(engine, 0, 0.1, svc, 1.0, lambda r: None, rngs.get("a"))
+        with pytest.raises(ValueError):
+            ClosedLoopSource(engine, 2, -0.1, svc, 1.0, lambda r: None, rngs.get("a"))

@@ -1,0 +1,83 @@
+"""Tests for time-series analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    lagged_correlation,
+    moving_average,
+    series_summary,
+    window_binned,
+)
+
+
+class TestMovingAverage:
+    def test_window_one_is_identity(self):
+        v = [1.0, 5.0, 2.0]
+        assert list(moving_average(v, 1)) == v
+
+    def test_simple_average(self):
+        out = moving_average([1, 2, 3, 4], 2)
+        assert np.allclose(out, [1.0, 1.5, 2.5, 3.5])
+
+    def test_smooths_noise(self, rng):
+        noisy = np.sin(np.linspace(0, 6, 200)) + 0.5 * rng.standard_normal(200)
+        sm = moving_average(noisy, 20)
+        assert sm.std() < noisy.std()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            moving_average([1.0], 0)
+
+    def test_empty(self):
+        assert moving_average([], 3).size == 0
+
+
+class TestWindowBinned:
+    def test_bins_average_values(self):
+        t = [0.1, 0.2, 1.1, 1.9]
+        v = [1.0, 3.0, 10.0, 20.0]
+        centers, means = window_binned(t, v, 1.0)
+        assert len(centers) == 2
+        assert means[0] == pytest.approx(2.0)
+        assert means[1] == pytest.approx(15.0)
+
+    def test_empty_input(self):
+        c, m = window_binned([], [], 1.0)
+        assert c.size == 0 and m.size == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            window_binned([1.0], [1.0, 2.0], 1.0)
+        with pytest.raises(ValueError):
+            window_binned([1.0], [1.0], 0.0)
+
+
+class TestLaggedCorrelation:
+    def test_detects_shift(self, rng):
+        base = np.sin(np.linspace(0, 20, 300))
+        shifted = np.roll(base, 3) + 0.01 * rng.standard_normal(300)  # b lags a by 3
+        corr = lagged_correlation(base, shifted, max_lag=6)
+        assert int(np.argmax(corr)) == 3
+
+    def test_identity_peaks_at_zero(self):
+        v = np.sin(np.linspace(0, 20, 200))
+        corr = lagged_correlation(v, v, max_lag=5)
+        assert int(np.argmax(corr)) == 0
+        assert corr[0] == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lagged_correlation([1.0, 2.0], [1.0], 0)
+        with pytest.raises(ValueError):
+            lagged_correlation([1.0, 2.0], [1.0, 2.0], 5)
+
+
+class TestSeriesSummary:
+    def test_fields(self):
+        s = series_summary([1.0, 2.0, 3.0])
+        assert s["n"] == 3 and s["mean"] == pytest.approx(2.0)
+        assert s["min"] == 1.0 and s["max"] == 3.0
+
+    def test_empty(self):
+        assert series_summary([])["n"] == 0

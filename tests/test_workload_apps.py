@@ -1,0 +1,86 @@
+"""Tests for the Tailbench-like application catalog."""
+
+import pytest
+
+from repro.workload import APP_NAMES, PAPER_APPS, SIM_APPS, get_app
+from repro.workload.apps import REFERENCE_FREQ
+
+
+class TestCatalogs:
+    def test_all_five_paper_apps_present(self):
+        assert set(APP_NAMES) == {"xapian", "masstree", "moses", "sphinx", "img-dnn"}
+        assert set(PAPER_APPS) == set(SIM_APPS)
+
+    def test_paper_slas_match_table3(self):
+        expected_ms = {
+            "xapian": 8.0, "masstree": 1.0, "moses": 120.0,
+            "sphinx": 4000.0, "img-dnn": 5.0,
+        }
+        for name, sla_ms in expected_ms.items():
+            assert PAPER_APPS[name].sla == pytest.approx(sla_ms / 1e3)
+
+    def test_get_app_default_is_sim_scale(self):
+        assert get_app("xapian") is SIM_APPS["xapian"]
+        assert get_app("xapian", paper_scale=True) is PAPER_APPS["xapian"]
+
+    def test_get_app_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_app("nginx")
+
+    def test_masstree_remains_fastest_sla_in_sim_scale(self):
+        slas = {n: SIM_APPS[n].sla for n in SIM_APPS}
+        assert min(slas, key=slas.get) == "masstree"
+        assert max(slas, key=slas.get) == "sphinx"
+
+
+class TestDilation:
+    def test_dilation_preserves_sla_to_service_ratio(self):
+        for name in APP_NAMES:
+            p, s = PAPER_APPS[name], SIM_APPS[name]
+            assert s.sla / s.mean_service_fmax == pytest.approx(
+                p.sla / p.mean_service_fmax, rel=1e-9
+            )
+
+    def test_dilation_scales_short_time(self):
+        for name in APP_NAMES:
+            p, s = PAPER_APPS[name], SIM_APPS[name]
+            assert s.short_time / p.short_time == pytest.approx(s.dilation, rel=1e-9)
+
+    def test_dilated_copy(self):
+        app = PAPER_APPS["xapian"].dilated(2.0)
+        assert app.sla == pytest.approx(2 * PAPER_APPS["xapian"].sla)
+        assert app.dilation == pytest.approx(2.0)
+
+    def test_dilation_preserves_contention_and_rho(self):
+        for name in APP_NAMES:
+            assert SIM_APPS[name].contention == PAPER_APPS[name].contention
+
+
+class TestLoadMath:
+    def test_saturation_rps(self):
+        app = get_app("xapian")
+        sat = app.saturation_rps(4)
+        assert sat == pytest.approx(4 * REFERENCE_FREQ / app.service.expected_work())
+
+    def test_rps_for_load_linear(self):
+        app = get_app("moses")
+        assert app.rps_for_load(0.5, 4) == pytest.approx(0.5 * app.saturation_rps(4))
+
+    def test_rps_for_load_invalid(self):
+        with pytest.raises(ValueError):
+            get_app("moses").rps_for_load(0.0, 4)
+
+    def test_mean_service_fmax(self):
+        app = get_app("moses")  # no dilation
+        assert app.mean_service_fmax == pytest.approx(0.0115, rel=1e-6)
+
+
+class TestTailShapes:
+    def test_moses_has_heaviest_tail(self):
+        """Paper Fig 1: Moses p99 ~ 8x mean; Img-dnn nearly flat."""
+        ratios = {}
+        for name in ("xapian", "masstree", "moses", "sphinx"):
+            ratios[name] = SIM_APPS[name].service.tail_ratio(0.99)
+        assert max(ratios, key=ratios.get) == "moses"
+        assert ratios["moses"] > 6.0
+        assert ratios["sphinx"] < 3.5

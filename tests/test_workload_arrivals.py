@@ -1,0 +1,97 @@
+"""Tests for the open-loop arrival process."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Engine, RngRegistry
+from repro.workload import (
+    LognormalCorrelatedService,
+    OpenLoopSource,
+    WorkloadTrace,
+    constant_trace,
+)
+
+
+def _mk_source(engine, trace, rng, sink):
+    svc = LognormalCorrelatedService(mean_work=1.0, sigma=0.3)
+    return OpenLoopSource(engine, trace, svc, sla=1.0, sink=sink, rng=rng)
+
+
+class TestOpenLoopSource:
+    def test_poisson_count_matches_rate(self, engine, rngs):
+        got = []
+        src = _mk_source(engine, constant_trace(100.0, 50.0), rngs.get("a"), got.append)
+        src.start()
+        engine.run_until(51.0)
+        # 5000 expected, sd ~ 70
+        assert 4600 <= len(got) <= 5400
+        assert src.done
+
+    def test_arrival_times_within_trace(self, engine, rngs):
+        got = []
+        src = _mk_source(engine, constant_trace(50.0, 10.0), rngs.get("a"), got.append)
+        src.start()
+        engine.run_until(20.0)
+        assert all(0.0 <= r.arrival_time <= 10.0 for r in got)
+
+    def test_request_ids_sequential(self, engine, rngs):
+        got = []
+        src = _mk_source(engine, constant_trace(50.0, 5.0), rngs.get("a"), got.append)
+        src.start()
+        engine.run_until(6.0)
+        assert [r.req_id for r in got] == list(range(len(got)))
+
+    def test_zero_rate_segment_produces_no_arrivals(self, engine, rngs):
+        trace = WorkloadTrace(np.array([0.0, 1.0, 2.0, 3.0]), np.array([100.0, 0.0, 100.0]))
+        got = []
+        src = _mk_source(engine, trace, rngs.get("a"), got.append)
+        src.start()
+        engine.run_until(4.0)
+        in_gap = [r for r in got if 1.0 < r.arrival_time <= 2.0]
+        assert in_gap == []
+        assert any(r.arrival_time > 2.0 for r in got)
+
+    def test_piecewise_rates_respected(self, engine, rngs):
+        trace = WorkloadTrace(np.array([0.0, 50.0, 100.0]), np.array([20.0, 200.0]))
+        got = []
+        src = _mk_source(engine, trace, rngs.get("a"), got.append)
+        src.start()
+        engine.run_until(101.0)
+        lo = sum(1 for r in got if r.arrival_time < 50.0)
+        hi = len(got) - lo
+        assert hi / max(lo, 1) == pytest.approx(10.0, rel=0.3)
+
+    def test_on_done_callback(self, engine, rngs):
+        flag = []
+        src = _mk_source(engine, constant_trace(10.0, 2.0), rngs.get("a"), lambda r: None)
+        src.on_done(lambda: flag.append(True))
+        src.start()
+        engine.run_until(3.0)
+        assert flag == [True]
+
+    def test_on_done_after_completion_fires_immediately(self, engine, rngs):
+        src = _mk_source(engine, constant_trace(10.0, 1.0), rngs.get("a"), lambda r: None)
+        src.start()
+        engine.run_until(2.0)
+        flag = []
+        src.on_done(lambda: flag.append(True))
+        assert flag == [True]
+
+    def test_requests_carry_sla_and_work(self, engine, rngs):
+        got = []
+        src = _mk_source(engine, constant_trace(20.0, 2.0), rngs.get("a"), got.append)
+        src.start()
+        engine.run_until(3.0)
+        assert all(r.sla == 1.0 and r.work > 0 for r in got)
+
+    def test_deterministic_given_stream(self):
+        def run():
+            eng = Engine()
+            rngs = RngRegistry(5)
+            got = []
+            src = _mk_source(eng, constant_trace(30.0, 5.0), rngs.get("a"), got.append)
+            src.start()
+            eng.run_until(6.0)
+            return [r.arrival_time for r in got]
+
+        assert run() == run()

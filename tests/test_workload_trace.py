@@ -1,0 +1,121 @@
+"""Tests for workload traces and the diurnal generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload import WorkloadTrace, constant_trace, diurnal_trace, synthesize_month
+
+
+class TestWorkloadTrace:
+    def _trace(self):
+        return WorkloadTrace(np.array([0.0, 1.0, 3.0]), np.array([10.0, 20.0]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadTrace(np.array([0.0, 1.0]), np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            WorkloadTrace(np.array([0.0, 0.0, 1.0]), np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            WorkloadTrace(np.array([0.0, 1.0, 2.0]), np.array([1.0, -2.0]))
+
+    def test_rate_at(self):
+        t = self._trace()
+        assert t.rate_at(0.5) == 10.0
+        assert t.rate_at(1.0) == 20.0
+        assert t.rate_at(2.9) == 20.0
+        assert t.rate_at(-0.1) == 0.0
+        assert t.rate_at(3.0) == 0.0
+
+    def test_mean_rate_time_weighted(self):
+        t = self._trace()
+        assert t.mean_rate() == pytest.approx((10 * 1 + 20 * 2) / 3)
+
+    def test_expected_requests(self):
+        assert self._trace().expected_requests() == pytest.approx(50.0)
+
+    def test_scaled(self):
+        t = self._trace().scaled(2.0)
+        assert t.peak_rate() == 40.0
+
+    def test_scaled_to_mean_and_peak(self):
+        t = self._trace()
+        assert t.scaled_to_mean(100.0).mean_rate() == pytest.approx(100.0)
+        assert t.scaled_to_peak(100.0).peak_rate() == pytest.approx(100.0)
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            self._trace().scaled(-1.0)
+        zero = WorkloadTrace(np.array([0.0, 1.0]), np.array([0.0]))
+        with pytest.raises(ValueError):
+            zero.scaled_to_mean(5.0)
+
+    def test_downsample_preserves_pattern(self):
+        t = self._trace()
+        d = t.downsampled(duration=6.0, num_segments=6)
+        assert d.duration == pytest.approx(6.0)
+        assert len(d.rates) == 6
+        # First third of the pattern is rate 10, the rest 20.
+        assert d.rates[0] == 10.0
+        assert d.rates[-1] == 20.0
+
+    def test_repeat_concatenates(self):
+        t = self._trace()
+        r = t.repeat(3)
+        assert r.duration == pytest.approx(9.0)
+        assert r.rate_at(4.5) == 20.0  # same phase as t at 1.5
+
+    def test_segments_iteration(self):
+        segs = list(self._trace().segments())
+        assert segs == [(0.0, 1.0, 10.0), (1.0, 3.0, 20.0)]
+
+
+class TestGenerators:
+    def test_constant_trace(self):
+        t = constant_trace(5.0, 10.0)
+        assert t.mean_rate() == 5.0
+        assert t.duration == 10.0
+        with pytest.raises(ValueError):
+            constant_trace(5.0, 0.0)
+
+    def test_month_has_diurnal_periodicity(self, rngs):
+        month = synthesize_month(rngs.get("m"), noise_sigma=0.0, spike_probability=0.0)
+        rates = month.rates
+        # Exact 24h periodicity modulo the weekly harmonic: high correlation.
+        r = np.corrcoef(rates[:-24], rates[24:])[0, 1]
+        assert r > 0.95
+
+    def test_month_peak_afternoon_trough_night(self, rngs):
+        month = synthesize_month(rngs.get("m"), noise_sigma=0.0, spike_probability=0.0)
+        day0 = month.rates[:24]
+        assert int(np.argmax(day0)) == 15  # 15:00 peak phase
+        assert day0.min() < 0.6 * day0.max()
+
+    def test_rates_nonnegative_with_noise(self, rngs):
+        month = synthesize_month(rngs.get("m"), noise_sigma=0.5, spike_probability=0.2)
+        assert (month.rates > 0).all()
+
+    def test_diurnal_trace_shape(self, rngs):
+        t = diurnal_trace(rngs.get("d"), duration=360.0, num_segments=120)
+        assert t.duration == pytest.approx(360.0)
+        assert len(t.rates) == 120
+        assert t.peak_rate() / t.mean_rate() > 1.2  # meaningful variation
+
+    def test_deterministic_given_seed(self, rngs):
+        a = diurnal_trace(rngs.get_fresh("d"), duration=100.0, num_segments=10)
+        b = diurnal_trace(rngs.get_fresh("d"), duration=100.0, num_segments=10)
+        assert np.array_equal(a.rates, b.rates)
+
+
+@given(
+    rates=st.lists(st.floats(min_value=0.0, max_value=1e4), min_size=1, max_size=50),
+    factor=st.floats(min_value=0.0, max_value=100.0),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_scaling_scales_expected_requests(rates, factor):
+    edges = np.arange(len(rates) + 1, dtype=float)
+    t = WorkloadTrace(edges, np.array(rates))
+    assert t.scaled(factor).expected_requests() == pytest.approx(
+        t.expected_requests() * factor, rel=1e-9, abs=1e-9
+    )

@@ -1,0 +1,54 @@
+"""Extension bench: fault tolerance — policies under injected faults.
+
+Sweeps the fault rate (silent DVFS write failures, telemetry dropouts,
+RAPL freezes/glitches/noise) over all four policies.  DeepPower runs with
+its runtime watchdog enabled; the claim under test is graceful
+degradation: under a seeded plan with >= 1 % DVFS failures plus periodic
+telemetry blackouts, the watchdog-protected runtime finishes the run with
+finite records, trips into the safe fallback governor at least once,
+recovers at least once, and keeps its tail latency within a modest factor
+of the clean run — while the unprotected stacks silently absorb every
+injected fault.
+"""
+
+import math
+
+from conftest import run_once
+
+from repro.experiments.fault_tolerance import (
+    render_fault_tolerance,
+    run_fault_tolerance,
+)
+
+RATES = (0.0, 0.01, 0.05)
+
+
+def test_fault_tolerance_sweep(benchmark, emit):
+    rows = run_once(benchmark, run_fault_tolerance, app_name="xapian", fault_rates=RATES)
+    emit("Extension — fault-tolerance sweep, Xapian", render_fault_tolerance(rows))
+
+    by_cell = {(r.policy, r.rate): r for r in rows}
+    assert set(by_cell) == {(p, r) for p in ("baseline", "retail", "gemini", "deeppower") for r in RATES}
+
+    clean = by_cell[("deeppower", 0.0)]
+    worst = by_cell[("deeppower", max(RATES))]
+
+    # Clean control run: nothing injected, watchdog never fires.
+    for pol in ("baseline", "retail", "gemini", "deeppower"):
+        assert by_cell[(pol, 0.0)].injected == 0
+    assert clean.trips == 0 and clean.anomalies == 0
+
+    # Faults actually flow at the top rate, and the watchdog both trips
+    # into the fallback governor and recovers from it.
+    assert worst.injected > 0
+    assert worst.trips >= 1
+    assert worst.recoveries >= 1
+    assert worst.fallback_steps >= 1
+
+    # Graceful degradation: the protected runtime's QoS and measured power
+    # stay sane under fire — finite, and within a modest factor of clean.
+    assert math.isfinite(worst.metrics.avg_power_watts)
+    assert math.isfinite(worst.metrics.tail_latency)
+    assert worst.metrics.tail_latency <= 2.0 * max(clean.metrics.tail_latency, clean.metrics.sla)
+    assert worst.metrics.timeout_rate <= clean.metrics.timeout_rate + 0.05
+    assert worst.metrics.avg_power_watts <= 2.0 * clean.metrics.avg_power_watts

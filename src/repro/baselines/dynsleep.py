@@ -17,7 +17,7 @@ itself runs at max sustained frequency (DynSleep manages sleep, not DVFS).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from ..cpu.core import Core
 from ..cpu.cstates import CStateTable, DEFAULT_CSTATES, IdleGovernor

@@ -82,7 +82,7 @@ def _cmd_compare(args) -> int:
 
 
 def _cmd_train(args) -> int:
-    from .core import DeepPowerConfig, train_deeppower
+    from .core import train_deeppower
     from .experiments.calibration import calibrate_to_sla
     from .experiments.fig7_main import tuned_agent_setup
     from .experiments.scenarios import active_profile, evaluation_trace, workers_for

@@ -12,6 +12,14 @@ The agent acts every ``LongTime`` (default 1 s); the controller ticks every
 ``ShortTime`` (default 1 ms, per-app).  In training mode each DRL step also
 performs one DDPG update; in evaluation mode the loaded policy runs
 deterministically (no noise, no updates).
+
+When a :class:`~repro.faults.watchdog.WatchdogConfig` is supplied, every
+step's telemetry/state/reward/action passes the watchdog's screens, and on
+repeated anomalies the runtime *trips*: the thread controller stops, an
+SLA-safe fallback governor takes the cores, and the DRL loop stays benched
+until telemetry has been healthy for the (exponentially backed-off)
+cooldown.  Trips, recoveries and per-step anomaly counts are exposed on
+:class:`StepRecord` and via :meth:`DeepPowerRuntime.watchdog_stats`.
 """
 
 from __future__ import annotations
@@ -21,7 +29,9 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..cpu.governors import Governor
 from ..cpu.rapl import PowerMonitor
+from ..faults.watchdog import Watchdog, WatchdogConfig, make_fallback_governor
 from ..server.server import Server
 from ..sim.engine import Engine, PeriodicTask
 from ..sim.events import PRIORITY_CONTROL
@@ -50,6 +60,9 @@ class DeepPowerConfig:
     train: bool = True
     #: DDPG updates per DRL step while training.
     updates_per_step: int = 1
+    #: Enable the runtime watchdog (anomaly screening + safe-fallback
+    #: degradation); None = no watchdog, the historical behaviour.
+    watchdog: Optional[WatchdogConfig] = None
 
 
 @dataclass(frozen=True)
@@ -65,6 +78,10 @@ class StepRecord:
     queue_len: int
     timeouts: int
     avg_frequency: float
+    #: Whether the watchdog had the runtime in safe-fallback this step.
+    fallback: bool = False
+    #: Anomalies the watchdog screened out of this step's inputs.
+    anomalies: int = 0
 
 
 class DeepPowerRuntime:
@@ -110,14 +127,41 @@ class DeepPowerRuntime:
         self._prev: Optional[tuple] = None
         self._task: Optional[PeriodicTask] = None
         self._last_losses: Optional[dict] = None
+        self.watchdog: Optional[Watchdog] = None
+        if self.cfg.watchdog is not None:
+            self.watchdog = Watchdog(
+                self.cfg.watchdog,
+                max_power_watts=max_power,
+                min_power_watts=min_power,
+                long_time=self.cfg.long_time,
+                short_time=self.controller.short_time,
+            )
+        self._fallback: Optional[Governor] = None
+        self._last_tick_count = 0
 
     # ----------------------------------------------------------------- control
 
+    @property
+    def running(self) -> bool:
+        """Whether the DRL loop's periodic task is live."""
+        return self._task is not None and not self._task.stopped
+
     def start(self) -> None:
-        """Algorithm 2 lines 1-2: start both loops and take the first action."""
+        """Algorithm 2 lines 1-2: start both loops and take the first action.
+
+        Restart-safe: a stopped runtime can be started again with a fresh
+        transition chain, reward window and energy window; calling
+        ``start()`` while already running raises instead of stacking a
+        second periodic task.
+        """
+        if self.running:
+            raise RuntimeError("DeepPowerRuntime.start() called while already running")
+        self._prev = None  # never bridge a transition across a restart gap
+        self.reward_calc.reset()
         self.controller.start()
+        self._last_tick_count = self.controller.tick_count
         snap = self.server.telemetry.snapshot()  # empty initial window
-        self.monitor.window_energy()  # zero the energy window
+        self.monitor.window_energy()  # (re-)zero the energy window
         s1 = self.observer.observe(snap)
         a1 = self.agent.act(s1, explore=self.cfg.train)
         self.controller.set_params(a1[0], a1[1])
@@ -128,28 +172,67 @@ class DeepPowerRuntime:
 
     def stop(self) -> None:
         self.controller.stop()
+        if self._fallback is not None:
+            self._fallback.stop()
         if self._task is not None:
             self._task.stop()
+        self._prev = None  # the next start() must not reuse a stale state
 
     # ------------------------------------------------------------------- steps
 
     def _drl_step(self) -> None:
-        """Algorithm 2 lines 9-18: one observe/reward/act/train cycle."""
+        """Algorithm 2 lines 9-18: one observe/reward/act/train cycle.
+
+        With a watchdog attached, the step's inputs are screened first and
+        the trip/re-arm verdict is applied at the end; while tripped the
+        agent is bypassed entirely and the fallback governor owns the cores.
+        """
         snap = self.server.telemetry.snapshot()
         energy = self.monitor.window_energy()
+        wd = self.watchdog
+        if wd is not None:
+            wd.begin_step()
+            ticks = self.controller.tick_count - self._last_tick_count
+            snap, energy = wd.screen_window(snap, energy, now=self.engine.now, ticks=ticks)
+        self._last_tick_count = self.controller.tick_count
         rb = self.reward_calc.compute(snap, energy)
         s_next = self.observer.observe(snap)
+        if wd is not None:
+            s_next = wd.screen_state(s_next)
+            rb = wd.screen_reward(rb)
 
-        if self._prev is not None:
-            s_prev, a_prev = self._prev
-            self.agent.observe(s_prev, a_prev, rb.total, s_next, done=False)
-            if self.cfg.train:
-                for _ in range(self.cfg.updates_per_step):
-                    self._last_losses = self.agent.update() or self._last_losses
+        if wd is not None and wd.tripped:
+            # Safe-fallback mode: the governor owns the cores; re-assert
+            # static fallbacks (no periodic task of their own) so silently
+            # failed DVFS writes cannot stick.
+            action = np.asarray(wd.cfg.safe_action, dtype=float)
+            if self._fallback is not None and self._fallback._task is None:
+                self._fallback.start()
+        else:
+            if self._prev is not None:
+                s_prev, a_prev = self._prev
+                self.agent.observe(s_prev, a_prev, rb.total, s_next, done=False)
+                if self.cfg.train:
+                    for _ in range(self.cfg.updates_per_step):
+                        self._last_losses = self.agent.update() or self._last_losses
 
-        action = self.agent.act(s_next, explore=self.cfg.train)
-        self.controller.set_params(action[0], action[1])
-        self._prev = (s_next, action)
+            action = self.agent.act(s_next, explore=self.cfg.train)
+            if wd is not None:
+                action = wd.screen_action(action)
+            self.controller.set_params(action[0], action[1])
+            self._prev = (s_next, action)
+
+        anomalies = 0
+        fallback_now = False
+        if wd is not None:
+            anomalies = wd.step_anomalies
+            fallback_now = wd.tripped
+            transition = wd.finish_step()
+            if transition == "trip":
+                self._enter_fallback()
+                fallback_now = True
+            elif transition == "rearm":
+                self._exit_fallback()
         self.step_count += 1
 
         if self.cfg.record_steps:
@@ -166,8 +249,31 @@ class DeepPowerRuntime:
                     queue_len=snap.queue_len,
                     timeouts=snap.timeouts,
                     avg_frequency=float(freqs.mean()),
+                    fallback=fallback_now,
+                    anomalies=anomalies,
                 )
             )
+
+    # --------------------------------------------------------------- fallback
+
+    def _enter_fallback(self) -> None:
+        """Trip: bench the DRL loop, hand the cores to the safe governor."""
+        self.controller.stop()
+        self._prev = None  # no transition bridges the outage
+        if self._fallback is None:
+            self._fallback = make_fallback_governor(
+                self.watchdog.cfg, self.engine, self.server.cpu
+            )
+        self._fallback.start()
+
+    def _exit_fallback(self) -> None:
+        """Re-arm: governor off, controller back on with safe parameters
+        until the agent's next action lands (one LongTime later)."""
+        if self._fallback is not None:
+            self._fallback.stop()
+        self.controller.set_params(*self.watchdog.cfg.safe_action)
+        self.controller.start()
+        self._last_tick_count = self.controller.tick_count
 
     # ------------------------------------------------------------------- views
 
@@ -175,6 +281,10 @@ class DeepPowerRuntime:
     def last_losses(self) -> Optional[dict]:
         """Most recent DDPG update diagnostics (None before first update)."""
         return self._last_losses
+
+    def watchdog_stats(self) -> Optional[dict]:
+        """Trip/recovery/anomaly counters (None when no watchdog configured)."""
+        return None if self.watchdog is None else self.watchdog.stats()
 
     def reward_history(self) -> np.ndarray:
         """Total reward per recorded step."""

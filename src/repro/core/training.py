@@ -19,7 +19,6 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..experiments.runner import RunResult
 
-from ..server.metrics import RunMetrics
 from ..sim.rng import RngRegistry
 from ..workload.apps import AppSpec
 from ..workload.trace import WorkloadTrace
@@ -74,6 +73,7 @@ def _runtime_extras(ctx, driver):
         "freq_trace": driver.controller.trace,
         "controller": driver.controller,
         "runtime": driver,
+        "watchdog": driver.watchdog,
     }
 
 

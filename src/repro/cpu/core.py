@@ -15,7 +15,7 @@ counter semantics of Intel RAPL.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, List
 
 from ..sim.engine import Engine
 from .dvfs import FrequencyTable

@@ -17,7 +17,7 @@ C-states off, exactly as the paper does.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from ..sim.engine import Engine
 from .core import Core

@@ -9,17 +9,30 @@ reward calculator does once per DRL step.
 :class:`PowerMonitor` reproduces that contract, including the counter
 wraparound of the physical MSR (32-bit microjoule-ish counter), which the
 reading code must handle just like real RAPL clients do.
+
+Real RAPL readings also glitch: counters stick, jump several wraps at
+once, or return garbage after an SMM excursion.  ``window_energy``
+therefore screens every delta against the socket's physical power
+envelope — a window that implies more than ``plausible_margin`` times the
+all-core-turbo socket power (or negative / non-finite energy) is clamped,
+counted in ``glitch_count`` and logged (rate-limited).
 """
 
 from __future__ import annotations
 
+import logging
+import math
 from dataclasses import dataclass
 from typing import List, Optional
+
+import numpy as np
 
 from ..sim.engine import Engine
 from .topology import Cpu
 
 __all__ = ["EnergySample", "PowerMonitor"]
+
+_log = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -44,6 +57,11 @@ class PowerMonitor:
         Counter wraps modulo this value (real MSR_PKG_ENERGY_STATUS wraps a
         32-bit register; with the default 15.3 µJ unit that is ~65 kJ).
         Set to ``None`` to disable wrapping.
+    plausible_margin:
+        Window deltas implying average power above ``plausible_margin``
+        times the all-core-turbo socket power are treated as counter
+        glitches and clamped (see ``glitch_count``).  ``None`` disables
+        the screen.
 
     Examples
     --------
@@ -61,10 +79,19 @@ class PowerMonitor:
         engine: Engine,
         cpu: Cpu,
         wrap_joules: Optional[float] = 65536.0,
+        plausible_margin: Optional[float] = 2.0,
     ) -> None:
         self.engine = engine
         self.cpu = cpu
         self.wrap_joules = wrap_joules
+        self.max_plausible_watts: Optional[float] = None
+        if plausible_margin is not None:
+            pm, table, n = cpu.power_model, cpu.table, cpu.num_cores
+            self.max_plausible_watts = plausible_margin * pm.socket_power(
+                np.full(n, table.turbo), np.ones(n, dtype=bool)
+            )
+        #: Implausible window deltas clamped so far (diagnostics).
+        self.glitch_count = 0
         self._base_energy = cpu.energy_joules()
         self._base_time = engine.now
         self._last_sample = self.read()
@@ -93,14 +120,44 @@ class PowerMonitor:
     # ---------------------------------------------------------------- windows
 
     def window_energy(self) -> float:
-        """Joules consumed since the previous window read; advances window."""
+        """Joules consumed since the previous window read; advances window.
+
+        The delta is screened against the socket's physical envelope: a
+        non-finite / negative delta, or one implying power beyond
+        ``max_plausible_watts``, is clamped and counted as a glitch.
+        """
         prev = self._last_sample
         cur = self.read()
         self._last_sample = cur
         self.samples.append(cur)
         if self.wrap_joules:
-            return self.unwrap(prev.counter, cur.counter, self.wrap_joules)
-        return cur.energy - prev.energy
+            delta = self.unwrap(prev.counter, cur.counter, self.wrap_joules)
+        else:
+            delta = cur.energy - prev.energy
+        return self._screen_delta(delta, cur.time - prev.time)
+
+    def _screen_delta(self, delta: float, dt: float) -> float:
+        """Clamp a window delta the hardware could not have produced."""
+        if self.max_plausible_watts is None:
+            return delta
+        if not math.isfinite(delta) or delta < 0.0:
+            self._note_glitch(delta, 0.0)
+            return 0.0
+        ceiling = self.max_plausible_watts * max(dt, 0.0)
+        if delta > ceiling:
+            self._note_glitch(delta, ceiling)
+            return ceiling
+        return delta
+
+    def _note_glitch(self, delta: float, replacement: float) -> None:
+        self.glitch_count += 1
+        if self.glitch_count <= 3 or self.glitch_count % 100 == 0:
+            _log.warning(
+                "implausible RAPL window delta %.3f J clamped to %.3f J (glitch #%d)",
+                delta,
+                replacement,
+                self.glitch_count,
+            )
 
     def window_power(self) -> float:
         """Average watts since the previous window read; advances window."""

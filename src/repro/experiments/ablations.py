@@ -15,14 +15,14 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from ..analysis.reporting import format_table
 from ..core.agent import DeepPowerAgent, default_ddpg_config
 from ..core.reward import RewardCalculator, RewardConfig, auto_eta_for
-from ..core.runtime import DeepPowerConfig, DeepPowerRuntime
+from ..core.runtime import DeepPowerConfig
 from ..core.state_observer import StateObserver
 from ..core.training import evaluate_deeppower, train_deeppower
 from ..rl.dqn import DqnAgent, DqnConfig, action_grid

@@ -8,7 +8,6 @@ converges to 1 as x grows.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 import numpy as np
 

@@ -15,7 +15,7 @@ import numpy as np
 
 from ..analysis.reporting import sparkline
 from ..sim.rng import RngRegistry
-from ..workload.trace import WorkloadTrace, diurnal_trace, synthesize_month
+from ..workload.trace import WorkloadTrace, synthesize_month
 from .scenarios import active_profile
 
 __all__ = ["Fig6Result", "run_fig6", "render_fig6"]

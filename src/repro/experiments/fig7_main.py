@@ -23,8 +23,9 @@ keyed by app + profile, so re-running the bench reuses them.
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from ..analysis.reporting import format_table
 from ..baselines.gemini import GeminiPolicy
@@ -143,8 +144,18 @@ def trained_agent(
     agent, cfg = tuned_agent_setup(seed, app=get_app(app_name))
     path = _agent_cache_path(app_name, profile, seed)
     if use_cache and os.path.exists(path):
-        agent.load(path)
-        return agent, cfg
+        try:
+            agent.load(path)
+            return agent, cfg
+        except Exception as exc:  # corrupt/truncated cache -> retrain
+            warnings.warn(
+                f"discarding unreadable agent cache {path!r} ({exc}); retraining",
+                stacklevel=2,
+            )
+            os.remove(path)
+            # The failed load may have partially written network weights;
+            # rebuild the agent from scratch before training.
+            agent, cfg = tuned_agent_setup(seed, app=get_app(app_name))
     app = get_app(app_name)
     train_deeppower(
         app,

@@ -30,7 +30,7 @@ from ..core.training import evaluate_deeppower
 from ..workload.apps import get_app
 from .calibration import calibrate_to_sla
 from .fig7_main import trained_agent
-from .runner import build_context, run_policy
+from .runner import run_policy
 from .scenarios import active_profile, evaluation_trace, workers_for
 
 __all__ = ["FreqTraceResult", "run_freq_traces", "render_freq_traces"]

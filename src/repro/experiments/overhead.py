@@ -19,7 +19,6 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-import numpy as np
 
 from ..analysis.reporting import format_table
 from ..core.agent import DeepPowerAgent, default_ddpg_config

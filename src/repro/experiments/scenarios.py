@@ -16,7 +16,6 @@ import os
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-import numpy as np
 
 from ..sim.rng import RngRegistry
 from ..workload.apps import SIM_APPS, AppSpec, get_app

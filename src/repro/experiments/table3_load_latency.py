@@ -14,7 +14,7 @@ mirroring the paper's 2.30 / 2.30 / 2.48 ms row.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
 from ..analysis.reporting import format_table
 from ..baselines.simple import MaxFrequencyPolicy

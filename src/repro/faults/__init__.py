@@ -1,0 +1,32 @@
+"""Fault injection + graceful degradation for the DeepPower stack.
+
+Three layers:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`, the reproducible
+  description of a fault scenario (deterministic schedule + seeded
+  stochastic rates).
+* :mod:`repro.faults.injectors` — :class:`SensorFaults`,
+  :class:`ActuatorFaults`, :class:`AgentFaults` and the bundling
+  :class:`FaultHarness`, which interpret a plan against a live stack.
+* :mod:`repro.faults.watchdog` — :class:`Watchdog`, the runtime's
+  anomaly screen and trip/re-arm state machine, degrading to an SLA-safe
+  governor while telemetry is broken.
+"""
+
+from .injectors import ActuatorFaults, AgentFaults, FaultHarness, SensorFaults
+from .plan import FAULT_KINDS, FaultEvent, FaultPlan, standard_fault_plan
+from .watchdog import Watchdog, WatchdogConfig, make_fallback_governor
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultPlan",
+    "standard_fault_plan",
+    "SensorFaults",
+    "ActuatorFaults",
+    "AgentFaults",
+    "FaultHarness",
+    "Watchdog",
+    "WatchdogConfig",
+    "make_fallback_governor",
+]

@@ -1,0 +1,154 @@
+"""Fault plans: reproducible descriptions of *what goes wrong, and when*.
+
+A :class:`FaultPlan` is pure data — it never touches the simulation.  The
+injectors in :mod:`repro.faults.injectors` interpret it against a live
+stack.  Two kinds of faults coexist in one plan:
+
+* **Scheduled events** (:class:`FaultEvent`): deterministic one-shots or
+  windows on the virtual clock — a RAPL counter freeze from t=12 for 3 s,
+  a multi-wrap counter glitch at t=20, a telemetry blackout, a core going
+  offline.  Two runs of the same plan inject the identical sequence.
+* **Stochastic processes**: per-operation failure probabilities (a DVFS
+  write silently failing, a telemetry snapshot lost in transit) drawn from
+  a generator seeded by ``plan.seed``, so "1 % of writes fail" is likewise
+  bit-reproducible.
+
+An empty plan (``FaultPlan()``) is the documented no-op: arming it wraps
+nothing and draws no random numbers, so a faultless run is bitwise
+identical to one without the fault subsystem attached at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["FaultEvent", "FaultPlan", "FAULT_KINDS", "standard_fault_plan"]
+
+
+#: Scheduled-event kinds understood by the injectors.
+FAULT_KINDS = (
+    # SensorFaults
+    "sensor.freeze",          # RAPL counter stops incrementing for `duration`
+    "sensor.glitch",          # one-shot counter jump of `magnitude` joules (multi-wrap)
+    "telemetry.drop",         # snapshots lost in transit for `duration`
+    # ActuatorFaults
+    "actuator.offline",       # core `target` parks at fmin, ignores writes for `duration`
+    # AgentFaults
+    "agent.corrupt_replay",   # NaN-poison `magnitude` fraction of the replay pool
+    "agent.nan_loss",         # +inf-poison one replay reward (forces a non-finite loss)
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: a point event or a ``[time, time + duration)`` window."""
+
+    time: float
+    kind: str
+    duration: float = 0.0
+    #: Kind-specific scalar (glitch joules, replay corruption fraction, ...).
+    magnitude: float = 0.0
+    #: Kind-specific index (core id for ``actuator.offline``).
+    target: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; known: {FAULT_KINDS}")
+        if self.time < 0:
+            raise ValueError(f"fault time must be >= 0, got {self.time!r}")
+        if self.duration < 0:
+            raise ValueError(f"fault duration must be >= 0, got {self.duration!r}")
+
+    @property
+    def end(self) -> float:
+        return self.time + self.duration
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A reproducible fault scenario (scheduled events + stochastic rates)."""
+
+    events: Tuple[FaultEvent, ...] = ()
+    #: Seed for every stochastic draw the injectors make for this plan.
+    seed: int = 0
+    #: Probability one DVFS write silently keeps the old frequency.
+    dvfs_fail_prob: float = 0.0
+    #: Probability one DVFS write lands only after ``dvfs_delay`` seconds.
+    dvfs_delay_prob: float = 0.0
+    #: Switch-latency spike applied to delayed writes (seconds).
+    dvfs_delay: float = 2e-3
+    #: Gaussian noise (joules, stdev) added to every RAPL counter read.
+    sensor_noise_std: float = 0.0
+    #: Probability one telemetry snapshot is lost in transit.
+    telemetry_drop_prob: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("dvfs_fail_prob", "dvfs_delay_prob", "telemetry_drop_prob"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p!r}")
+        if self.sensor_noise_std < 0:
+            raise ValueError("sensor_noise_std must be >= 0")
+        if self.dvfs_delay < 0:
+            raise ValueError("dvfs_delay must be >= 0")
+        object.__setattr__(self, "events", tuple(sorted(self.events, key=lambda e: e.time)))
+
+    # ------------------------------------------------------------------ views
+
+    @property
+    def is_empty(self) -> bool:
+        """True when arming this plan would be a guaranteed no-op."""
+        return (
+            not self.events
+            and self.dvfs_fail_prob == 0.0
+            and self.dvfs_delay_prob == 0.0
+            and self.sensor_noise_std == 0.0
+            and self.telemetry_drop_prob == 0.0
+        )
+
+    def events_of(self, prefix: str) -> Tuple[FaultEvent, ...]:
+        """Scheduled events whose kind starts with ``prefix`` (time order)."""
+        return tuple(e for e in self.events if e.kind.startswith(prefix))
+
+
+def standard_fault_plan(
+    rate: float,
+    duration: float,
+    *,
+    long_time: float = 1.0,
+    seed: int = 0,
+    agent_faults: bool = False,
+    wrap_joules: float = 65536.0,
+) -> FaultPlan:
+    """The canonical sweep scenario used by the fault-tolerance experiment.
+
+    ``rate`` scales every stochastic severity (``rate`` = per-write DVFS
+    failure probability); the deterministic backbone — three telemetry
+    blackouts, one sensor freeze, one multi-wrap glitch — is included
+    whenever ``rate > 0`` so the watchdog's trip/recover cycle is exercised
+    reproducibly.  ``rate == 0`` returns the empty plan.
+    """
+    if rate < 0:
+        raise ValueError("rate must be >= 0")
+    if rate == 0.0:
+        return FaultPlan()
+    drop_len = 3.0 * long_time
+    events = [
+        FaultEvent(0.25 * duration, "telemetry.drop", duration=drop_len),
+        FaultEvent(0.50 * duration, "telemetry.drop", duration=drop_len),
+        FaultEvent(0.75 * duration, "telemetry.drop", duration=drop_len),
+        FaultEvent(0.60 * duration, "sensor.freeze", duration=2.0 * long_time),
+        FaultEvent(0.35 * duration, "sensor.glitch", magnitude=3.2 * wrap_joules),
+    ]
+    if agent_faults:
+        events.append(FaultEvent(0.40 * duration, "agent.corrupt_replay", magnitude=0.05))
+        events.append(FaultEvent(0.65 * duration, "agent.nan_loss"))
+    return FaultPlan(
+        events=tuple(events),
+        seed=seed,
+        dvfs_fail_prob=min(rate, 1.0),
+        dvfs_delay_prob=min(rate / 2.0, 1.0),
+        sensor_noise_std=50.0 * rate,
+        telemetry_drop_prob=min(rate / 4.0, 1.0),
+    )

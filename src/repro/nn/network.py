@@ -8,7 +8,7 @@ fully-connected layers", sigmoid outputs) as :class:`TwoHeadMLP`.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple, Type
+from typing import Dict, List, Sequence, Type
 
 import numpy as np
 

@@ -25,7 +25,7 @@ from ..nn.optim import Adam, clip_grad_norm
 from ..nn.losses import mse_loss
 from .critics import StateActionCritic
 from .noise import GaussianNoise
-from .replay import ReplayBuffer
+from .replay import ReplayBuffer, batch_is_finite
 
 __all__ = ["DdpgConfig", "DdpgAgent"]
 
@@ -100,6 +100,9 @@ class DdpgAgent:
         )
         self.steps = 0
         self.updates = 0
+        #: Minibatches abandoned because the batch or its losses were
+        #: non-finite (replay corruption, diverged networks).
+        self.skipped_updates = 0
 
     # ------------------------------------------------------------------ acting
 
@@ -139,12 +142,17 @@ class DdpgAgent:
     def update(self) -> Optional[Dict[str, float]]:
         """One gradient step on critic and actor + target soft updates.
 
-        Returns loss diagnostics, or None when still warming up.
+        Returns loss diagnostics, or None when still warming up or when the
+        sampled batch / its losses are non-finite (the batch is skipped and
+        ``skipped_updates`` incremented rather than poisoning the networks).
         """
         if not self.ready:
             return None
         cfg = self.cfg
         s, a, r, s2, done = self.replay.sample(cfg.batch_size, self.rng)
+        if not batch_is_finite(s, a, r, s2):
+            self.skipped_updates += 1
+            return None
 
         # ---- critic: y = r + gamma * Q'(s', pi'(s')) --------------------------
         a2 = self.actor_target.forward(s2)
@@ -152,6 +160,9 @@ class DdpgAgent:
         y = r + cfg.gamma * (1.0 - done.astype(float)) * q_next
         q = self.critic.forward_sa(s, a)
         critic_loss, grad = mse_loss(q, y.reshape(-1, 1))
+        if not np.isfinite(critic_loss):
+            self.skipped_updates += 1
+            return None
         self.critic.zero_grad()
         self.critic.backward(grad)
         clip_grad_norm(self.critic.parameters(), cfg.grad_clip)
@@ -161,6 +172,9 @@ class DdpgAgent:
         pi = self.actor.forward(s)
         q_pi, dq_da = self.critic.action_gradient(s, pi)
         actor_loss = float(-q_pi.mean())
+        if not (np.isfinite(actor_loss) and np.isfinite(dq_da).all()):
+            self.skipped_updates += 1
+            return None
         self.actor.zero_grad()
         # d(-mean Q)/d pi = -dQ/da / batch
         self.actor.backward(-dq_da / cfg.batch_size)

@@ -11,7 +11,17 @@ from typing import Tuple
 
 import numpy as np
 
-__all__ = ["Transition", "ReplayBuffer"]
+__all__ = ["Transition", "ReplayBuffer", "batch_is_finite"]
+
+
+def batch_is_finite(*arrays: np.ndarray) -> bool:
+    """True when every array is fully finite (no NaN/Inf anywhere).
+
+    The agents screen each sampled minibatch with this before training on
+    it: a corrupted replay pool (bit flips, poisoned rewards) must cost a
+    skipped update, never a poisoned network.
+    """
+    return all(np.isfinite(arr).all() for arr in arrays)
 
 
 @dataclass(frozen=True)

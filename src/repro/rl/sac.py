@@ -14,12 +14,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..nn.layers import Linear, Parameter, ReLU
+from ..nn.layers import Linear, Parameter
 from ..nn.network import MLP, Module
 from ..nn.optim import Adam, clip_grad_norm
 from ..nn.losses import mse_loss
 from .critics import TwinCritic
-from .replay import ReplayBuffer
+from .replay import ReplayBuffer, batch_is_finite
 
 __all__ = ["SacConfig", "GaussianPolicy", "SacAgent"]
 
@@ -140,6 +140,9 @@ class SacAgent:
         self.critic_opt = Adam(self.critic.parameters(), lr=config.critic_lr)
         self.replay = ReplayBuffer(config.buffer_capacity, config.state_dim, config.action_dim)
         self.updates = 0
+        #: Minibatches abandoned because the batch or its losses were
+        #: non-finite (replay corruption, diverged networks).
+        self.skipped_updates = 0
 
     # ------------------------------------------------------------------ acting
 
@@ -166,6 +169,9 @@ class SacAgent:
             return None
         cfg = self.cfg
         s, a, r, s2, done = self.replay.sample(cfg.batch_size, self.rng)
+        if not batch_is_finite(s, a, r, s2):
+            self.skipped_updates += 1
+            return None
 
         # ---- critic target: y = r + gamma (min Q'(s2, a2) - alpha log pi) ----
         a2, logp2, _ = self.policy.sample(s2, self.rng)
@@ -174,10 +180,16 @@ class SacAgent:
 
         critic_loss = 0.0
         self.critic.zero_grad()
+        grads = []
         for qnet in (self.critic.q1, self.critic.q2):
             q = qnet.forward_sa(s, a)
             loss, grad = mse_loss(q, y)
             critic_loss += loss
+            grads.append((qnet, grad))
+        if not np.isfinite(critic_loss):
+            self.skipped_updates += 1
+            return None
+        for qnet, grad in grads:
             qnet.backward(grad)
         clip_grad_norm(self.critic.parameters(), cfg.grad_clip)
         self.critic_opt.step()
@@ -194,6 +206,9 @@ class SacAgent:
         use_q1 = (q1 <= q2).astype(float)  # (batch, 1) broadcast over actions
         dq_da = use_q1 * dq1_da + (1.0 - use_q1) * dq2_da
         actor_loss = float((cfg.alpha * logp - np.minimum(q1, q2)[:, 0]).mean())
+        if not (np.isfinite(actor_loss) and np.isfinite(dq_da).all()):
+            self.skipped_updates += 1
+            return None
 
         t, std, eps = cache["t"], cache["std"], cache["eps"]
         da_du = 0.5 * (1.0 - t * t)

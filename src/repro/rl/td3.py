@@ -22,7 +22,7 @@ from ..nn.network import Module
 from ..nn.optim import Adam, clip_grad_norm
 from .critics import TwinCritic
 from .noise import GaussianNoise
-from .replay import ReplayBuffer
+from .replay import ReplayBuffer, batch_is_finite
 
 __all__ = ["Td3Config", "Td3Agent"]
 
@@ -89,6 +89,9 @@ class Td3Agent:
         )
         self.steps = 0
         self.updates = 0
+        #: Minibatches abandoned because the batch or its losses were
+        #: non-finite (replay corruption, diverged networks).
+        self.skipped_updates = 0
 
     # ------------------------------------------------------------------ acting
 
@@ -116,6 +119,9 @@ class Td3Agent:
             return None
         cfg = self.cfg
         s, a, r, s2, done = self.replay.sample(cfg.batch_size, self.rng)
+        if not batch_is_finite(s, a, r, s2):
+            self.skipped_updates += 1
+            return None
 
         # ---- critics: clipped double-Q with smoothed target actions ----------
         a2 = self.actor_target.forward(s2)
@@ -130,10 +136,16 @@ class Td3Agent:
 
         critic_loss = 0.0
         self.critic.zero_grad()
+        grads = []
         for qnet in (self.critic.q1, self.critic.q2):
             q = qnet.forward_sa(s, a)
             loss, grad = mse_loss(q, y)
             critic_loss += loss
+            grads.append((qnet, grad))
+        if not np.isfinite(critic_loss):
+            self.skipped_updates += 1
+            return None
+        for qnet, grad in grads:
             qnet.backward(grad)
         clip_grad_norm(self.critic.parameters(), cfg.grad_clip)
         self.critic_opt.step()
@@ -144,6 +156,9 @@ class Td3Agent:
         if self.updates % cfg.policy_delay == 0:
             pi = self.actor.forward(s)
             _, dq_da = self.critic.q1.action_gradient(s, pi)
+            if not np.isfinite(dq_da).all():
+                self.skipped_updates += 1
+                return out
             self.actor.zero_grad()
             self.actor.backward(-dq_da / cfg.batch_size)
             clip_grad_norm(self.actor.parameters(), cfg.grad_clip)

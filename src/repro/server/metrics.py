@@ -7,8 +7,8 @@ Fig 7c, plus the power-side numbers joined in by the experiment runner.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import List
 
 import numpy as np
 

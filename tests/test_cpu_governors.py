@@ -11,7 +11,6 @@ from repro.cpu import (
     PowersaveGovernor,
     UserspaceGovernor,
 )
-from repro.sim import Engine
 
 
 class TestStaticGovernors:

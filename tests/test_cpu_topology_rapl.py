@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.cpu import Cpu, PowerMonitor, dual_socket
-from repro.sim import Engine
 
 
 class TestCpu:

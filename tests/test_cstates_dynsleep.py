@@ -1,13 +1,11 @@
 """Tests for the C-state substrate and the DynSleep extension policy."""
 
-import numpy as np
 import pytest
 
 from repro.baselines import DynSleepPolicy, MaxFrequencyPolicy
 from repro.cpu import DEFAULT_CSTATES, CState, CStateTable, Cpu, IdleGovernor
 from repro.experiments.runner import build_context, run_policy
-from repro.sim import Engine
-from repro.workload import Request, constant_trace
+from repro.workload import constant_trace
 
 
 class TestCStateTable:

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.baselines import MaxFrequencyPolicy, RetailPolicy
+from repro.baselines import MaxFrequencyPolicy
 from repro.experiments import (
     REGISTRY,
     SMOKE,
@@ -23,7 +23,7 @@ from repro.experiments.fig6_workload import run_fig6
 from repro.experiments.fig11_fixed_params import run_fig11
 from repro.experiments.overhead import run_overhead
 from repro.experiments.table2_inference import run_table2
-from repro.workload import constant_trace, get_app
+from repro.workload import constant_trace
 
 
 class TestRunner:

@@ -210,6 +210,45 @@ class TestPeriodicTask:
         eng.run_until(3.5)
         assert task.fire_count == 3
 
+    def test_stop_inside_callback_cancels_scheduled_successor(self):
+        # _fire schedules the successor *before* the callback runs; stopping
+        # from inside the callback must cancel that pre-scheduled event, not
+        # leave it to fire (or linger) in the heap.
+        eng = Engine()
+        task = eng.every(1.0, lambda: task.stop())
+        eng.run_until(1.0)
+        assert task.stopped
+        assert task.fire_count == 1
+        assert eng.pending_events == 0
+
+    def test_zero_start_delay_immediate_stop_fires_exactly_once(self):
+        eng = Engine()
+        fired = []
+        task = eng.every(
+            1.0, lambda: (fired.append(eng.now), task.stop()), start_delay=0.0
+        )
+        eng.run_until(5.0)
+        assert fired == [0.0]
+        assert eng.pending_events == 0
+
+    def test_negative_start_delay_raises(self):
+        with pytest.raises(SimulationError):
+            Engine().every(1.0, lambda: None, start_delay=-0.5)
+
+    def test_mass_cancellation_of_periodic_tasks_compacts_heap(self):
+        # Stopping thousands of periodic tasks crosses the engine's lazy-
+        # cancellation compaction threshold; live events must survive it.
+        eng = Engine()
+        tasks = [eng.every(1.0 + i * 1e-9, lambda: None) for i in range(5000)]
+        fired = []
+        eng.schedule_at(2.0, fired.append, "live")
+        for t in tasks:
+            t.stop()
+        assert eng.pending_events == 1
+        assert len(eng._heap) < 5000  # compaction actually ran
+        eng.run_until(3.0)
+        assert fired == ["live"]
+
 
 class TestDrain:
     def test_drain_reaches_horizon(self):

@@ -1,0 +1,147 @@
+"""Kill/resume smoke test: SIGKILL a training run, resume it, verify.
+
+What CI runs (`python benchmarks/kill_resume_smoke.py`):
+
+1. start a checkpointed training run in a subprocess,
+2. SIGKILL it the moment the first autosave lands (a real kill -9 — no
+   atexit handlers, no flushing, exactly the crash the atomic-write
+   discipline must survive),
+3. re-run the same command, which resumes from the newest valid snapshot,
+4. assert the resumed run completed all episodes AND that its per-episode
+   rewards are bitwise identical to an uninterrupted same-seed run.
+
+The training workload mirrors the test suite's ``tiny_app`` so the whole
+smoke stays under a minute.
+"""
+
+import glob
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+_REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(_REPO, "src"))
+
+SEED = 5
+EPISODES = 4
+KILL_TIMEOUT_S = 180.0
+
+
+def _train(ckdir, episodes, resume):
+    from repro.core import (
+        DeepPowerAgent,
+        DeepPowerConfig,
+        default_ddpg_config,
+        train_deeppower,
+    )
+    from repro.sim import RngRegistry
+    from repro.workload import AppSpec, LognormalCorrelatedService, constant_trace
+
+    app = AppSpec(
+        name="tiny",
+        sla=0.06,
+        service=LognormalCorrelatedService(mean_work=0.021, sigma=0.5, rho=0.8),
+        contention=0.3,
+        short_time=0.002,
+        description="smoke app",
+    )
+    trace = constant_trace(app.rps_for_load(0.4, 2), 3.0)
+    agent = DeepPowerAgent(
+        RngRegistry(11).get("agent"), default_ddpg_config(warmup=2, batch_size=4)
+    )
+    return train_deeppower(
+        app,
+        trace,
+        episodes=episodes,
+        num_cores=2,
+        seed=SEED,
+        agent=agent,
+        config=DeepPowerConfig(long_time=0.5),
+        checkpoint_dir=ckdir,
+        checkpoint_every=1,
+        resume=resume,
+    )
+
+
+def _child(ckdir: str, out_path: str) -> int:
+    result = _train(ckdir, EPISODES, resume=True)
+    with open(out_path, "w") as f:
+        json.dump(
+            {
+                "resumed_from": result.resumed_from,
+                "mean_rewards": [s.mean_reward for s in result.episodes],
+            },
+            f,
+        )
+    return 0
+
+def _spawn(ckdir: str, out_path: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(_REPO, "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    return subprocess.Popen(
+        [sys.executable, os.path.abspath(__file__), "--child", ckdir, out_path],
+        env=env,
+    )
+
+
+def main() -> int:
+    workdir = tempfile.mkdtemp(prefix="kill-resume-smoke-")
+    ckdir = os.path.join(workdir, "checkpoints")
+    out_path = os.path.join(workdir, "result.json")
+
+    print(f"[1/4] starting checkpointed training (dir {ckdir})")
+    victim = _spawn(ckdir, out_path)
+    deadline = time.monotonic() + KILL_TIMEOUT_S
+    while not glob.glob(os.path.join(ckdir, "train-*.dpck")):
+        if victim.poll() is not None:
+            # finished before we could kill it — resume path still exercised
+            print("    (run finished before the kill; continuing)")
+            break
+        if time.monotonic() > deadline:
+            victim.kill()
+            raise SystemExit("no autosave appeared before the timeout")
+        time.sleep(0.05)
+
+    if victim.poll() is None:
+        print("[2/4] first autosave landed; sending SIGKILL")
+        victim.kill()  # SIGKILL on POSIX: no cleanup, no flushing
+        victim.wait()
+    snapshots = sorted(glob.glob(os.path.join(ckdir, "train-*.dpck")))
+    print(f"    snapshots on disk after the kill: {[os.path.basename(s) for s in snapshots]}")
+    assert snapshots, "kill left no snapshot behind"
+
+    print("[3/4] resuming the killed run to completion")
+    if os.path.exists(out_path):
+        os.remove(out_path)
+    rerun = _spawn(ckdir, out_path)
+    assert rerun.wait() == 0, "resumed run failed"
+    with open(out_path) as f:
+        report = json.load(f)
+    assert len(report["mean_rewards"]) == EPISODES, (
+        f"resumed run produced {len(report['mean_rewards'])} episodes, "
+        f"wanted {EPISODES}"
+    )
+    print(f"    resumed at episode {report['resumed_from']}, "
+          f"completed {len(report['mean_rewards'])} episodes")
+
+    print("[4/4] comparing against an uninterrupted same-seed run")
+    baseline = _train(None, EPISODES, resume=False)
+    expected = [s.mean_reward for s in baseline.episodes]
+    assert report["mean_rewards"] == expected, (
+        "resumed run diverged from the uninterrupted baseline:\n"
+        f"  resumed : {report['mean_rewards']}\n"
+        f"  baseline: {expected}"
+    )
+    print("OK: kill -9 + resume is bitwise identical to the uninterrupted run")
+    return 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) == 4 and sys.argv[1] == "--child":
+        sys.exit(_child(sys.argv[2], sys.argv[3]))
+    sys.exit(main())

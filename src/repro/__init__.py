@@ -22,6 +22,11 @@ Package map
 ``repro.baselines``
     Comparison policies: baseline (max frequency), ReTail, Gemini, cpufreq
     governors, oracle.
+``repro.faults``
+    Fault injection (sensor/actuator/agent) and the runtime watchdog.
+``repro.checkpoint``
+    Crash-safe snapshots (atomic, CRC-checked, rotating) and the
+    ``state_dict`` protocol powering deterministic resume.
 ``repro.experiments``
     One module per paper table/figure plus ablations; see DESIGN.md.
 

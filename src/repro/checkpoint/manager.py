@@ -1,0 +1,261 @@
+"""Versioned, integrity-checked, crash-safe checkpoint files.
+
+On-disk format (one self-contained ``.dpck`` file per snapshot)::
+
+    magic   8 bytes   b"DPCKPT01"
+    hlen    8 bytes   little-endian length of the JSON header
+    header  hlen      {"schema", "step", "meta", "tree_len", "tree_crc",
+                       "npz_len", "npz_crc"}
+    tree    tree_len  JSON skeleton of the state tree (see serialize.py)
+    npz     npz_len   np.savez archive with every array payload
+
+Durability discipline:
+
+* **Atomic save** — the blob is written to a same-directory temp file,
+  flushed and fsynced, then ``os.replace``d over the final name (and the
+  directory fsynced), so readers only ever see complete snapshots; a crash
+  mid-write leaves at worst a stray ``.tmp`` file that is ignored.
+* **Integrity** — both payload sections carry a CRC32 in the header; any
+  truncation or bit damage surfaces as :class:`CheckpointCorruptError`.
+* **Rotation** — ``keep_last`` newest snapshots are retained; older ones
+  are pruned after each successful save.
+* **Fallback load** — :meth:`CheckpointManager.load_latest` walks snapshots
+  newest-first and returns the first valid one, emitting a warning for each
+  corrupt file it skips, so a crash during autosave never strands a run.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import re
+import struct
+import warnings
+import zlib
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from .serialize import decode_tree, encode_tree
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "CheckpointError",
+    "CheckpointCorruptError",
+    "CheckpointRecord",
+    "CheckpointManager",
+]
+
+#: Bump when the container or state layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+_MAGIC = b"DPCKPT01"
+_HLEN = struct.Struct("<Q")
+
+
+class CheckpointError(RuntimeError):
+    """Base class for checkpoint failures."""
+
+
+class CheckpointCorruptError(CheckpointError):
+    """A snapshot file is truncated, damaged, or from an unknown schema."""
+
+
+@dataclass(frozen=True)
+class CheckpointRecord:
+    """A loaded snapshot: its state tree plus provenance."""
+
+    step: int
+    state: Any
+    meta: Dict[str, Any]
+    path: str
+    schema: int = SCHEMA_VERSION
+
+
+class CheckpointManager:
+    """Writes and reads rotating, integrity-checked snapshots.
+
+    Parameters
+    ----------
+    directory:
+        Where snapshots live (created on first save).
+    keep_last:
+        Rotation depth; older snapshots are deleted after each save.
+    prefix:
+        Filename prefix (``<prefix>-<step:010d>.dpck``), letting several
+        checkpoint families share one directory.
+    allow_pickle:
+        Permit pickle-fallback payloads (needed for experiment result
+        objects; disable for fully introspectable learner snapshots).
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        keep_last: int = 3,
+        prefix: str = "ckpt",
+        allow_pickle: bool = True,
+    ) -> None:
+        if keep_last <= 0:
+            raise ValueError("keep_last must be positive")
+        if not re.fullmatch(r"[A-Za-z0-9._-]+", prefix):
+            raise ValueError("prefix must be filesystem-plain")
+        self.directory = str(directory)
+        self.keep_last = int(keep_last)
+        self.prefix = prefix
+        self.allow_pickle = allow_pickle
+        self._pattern = re.compile(rf"^{re.escape(prefix)}-(\d+)\.dpck$")
+
+    # ------------------------------------------------------------------ paths
+
+    def path_for(self, step: int) -> str:
+        return os.path.join(self.directory, f"{self.prefix}-{int(step):010d}.dpck")
+
+    def list_steps(self) -> List[int]:
+        """Snapshot steps on disk, ascending."""
+        if not os.path.isdir(self.directory):
+            return []
+        steps = []
+        for name in os.listdir(self.directory):
+            m = self._pattern.match(name)
+            if m:
+                steps.append(int(m.group(1)))
+        return sorted(steps)
+
+    def latest_step(self) -> Optional[int]:
+        steps = self.list_steps()
+        return steps[-1] if steps else None
+
+    # ------------------------------------------------------------------- save
+
+    def save(
+        self, state: Any, step: int, meta: Optional[Dict[str, Any]] = None
+    ) -> str:
+        """Atomically write ``state`` as snapshot ``step``; returns the path."""
+        skeleton, arrays = encode_tree(state, allow_pickle=self.allow_pickle)
+        tree_bytes = json.dumps(skeleton, separators=(",", ":")).encode("utf-8")
+        buf = io.BytesIO()
+        np.savez(buf, **arrays)
+        npz_bytes = buf.getvalue()
+        header = {
+            "schema": SCHEMA_VERSION,
+            "step": int(step),
+            "meta": dict(meta or {}),
+            "tree_len": len(tree_bytes),
+            "tree_crc": zlib.crc32(tree_bytes),
+            "npz_len": len(npz_bytes),
+            "npz_crc": zlib.crc32(npz_bytes),
+        }
+        header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+        blob = b"".join(
+            [_MAGIC, _HLEN.pack(len(header_bytes)), header_bytes, tree_bytes, npz_bytes]
+        )
+
+        os.makedirs(self.directory, exist_ok=True)
+        path = self.path_for(step)
+        tmp = f"{path}.tmp-{os.getpid()}"
+        try:
+            with open(tmp, "wb") as f:
+                f.write(blob)
+                f.flush()
+                os.fsync(f.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._fsync_dir()
+        self._prune()
+        return path
+
+    def _fsync_dir(self) -> None:
+        try:  # pragma: no cover - platform dependent
+            fd = os.open(self.directory, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
+
+    def _prune(self) -> None:
+        steps = self.list_steps()
+        for step in steps[: -self.keep_last]:
+            try:
+                os.unlink(self.path_for(step))
+            except OSError:  # pragma: no cover - racing cleaners are fine
+                pass
+
+    # ------------------------------------------------------------------- load
+
+    def load(self, path: str) -> CheckpointRecord:
+        """Load one snapshot file, verifying magic, schema and CRCs."""
+        try:
+            with open(path, "rb") as f:
+                blob = f.read()
+        except OSError as exc:
+            raise CheckpointCorruptError(f"cannot read {path!r}: {exc}") from exc
+        if len(blob) < len(_MAGIC) + _HLEN.size or blob[: len(_MAGIC)] != _MAGIC:
+            raise CheckpointCorruptError(f"{path!r}: bad magic (not a checkpoint)")
+        off = len(_MAGIC)
+        (hlen,) = _HLEN.unpack_from(blob, off)
+        off += _HLEN.size
+        try:
+            header = json.loads(blob[off : off + hlen].decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise CheckpointCorruptError(f"{path!r}: unreadable header") from exc
+        off += hlen
+        schema = header.get("schema")
+        if schema != SCHEMA_VERSION:
+            raise CheckpointCorruptError(
+                f"{path!r}: schema {schema!r} not supported (expected {SCHEMA_VERSION})"
+            )
+        tree_bytes = blob[off : off + header["tree_len"]]
+        off += header["tree_len"]
+        npz_bytes = blob[off : off + header["npz_len"]]
+        if (
+            len(tree_bytes) != header["tree_len"]
+            or len(npz_bytes) != header["npz_len"]
+            or zlib.crc32(tree_bytes) != header["tree_crc"]
+            or zlib.crc32(npz_bytes) != header["npz_crc"]
+        ):
+            raise CheckpointCorruptError(f"{path!r}: payload truncated or corrupt")
+        skeleton = json.loads(tree_bytes.decode("utf-8"))
+        with np.load(io.BytesIO(npz_bytes)) as data:
+            arrays = {k: data[k] for k in data.files}
+        state = decode_tree(skeleton, arrays, allow_pickle=self.allow_pickle)
+        return CheckpointRecord(
+            step=int(header["step"]),
+            state=state,
+            meta=dict(header.get("meta", {})),
+            path=path,
+            schema=schema,
+        )
+
+    def load_step(self, step: int) -> CheckpointRecord:
+        return self.load(self.path_for(step))
+
+    def load_latest(self) -> Optional[CheckpointRecord]:
+        """Newest *valid* snapshot, or None.
+
+        Corrupt snapshots (truncated autosave at crash time, damaged media)
+        are skipped with a warning, never an exception — the run falls back
+        to the most recent snapshot that verifies.
+        """
+        for step in reversed(self.list_steps()):
+            path = self.path_for(step)
+            try:
+                return self.load(path)
+            except CheckpointCorruptError as exc:
+                warnings.warn(
+                    f"skipping corrupt checkpoint {path!r} ({exc}); "
+                    "falling back to the previous snapshot",
+                    stacklevel=2,
+                )
+        return None

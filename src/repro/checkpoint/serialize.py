@@ -1,0 +1,115 @@
+"""Checkpoint payload codec: nested python trees <-> (JSON, array-pack).
+
+A checkpoint's ``state`` is an arbitrary nesting of dicts, lists, tuples,
+numpy arrays, python scalars and ``None`` — the shapes produced by the
+``state_dict()`` protocol across the codebase.  The codec splits such a
+tree into two streams that serialise exactly:
+
+* a JSON-safe skeleton holding scalars, structure and placeholders, and
+* a flat ``{name: ndarray}`` mapping holding every array payload, stored
+  as an ``.npz`` archive by :mod:`repro.checkpoint.manager`.
+
+Bit-exactness is the contract: float64 scalars round-trip through JSON's
+``repr``-based encoding, arbitrary-precision ints (PCG64 carries 128-bit
+state words) are native JSON, and arrays are stored raw.  Objects outside
+that vocabulary (e.g. experiment result dataclasses) fall back to pickle
+bytes stored as a ``uint8`` array — gate with ``allow_pickle=False`` when
+snapshots must stay fully introspectable.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+__all__ = ["encode_tree", "decode_tree", "CheckpointEncodeError"]
+
+#: Marker keys; a real dict never collides because user dicts are wrapped.
+_ND = "__nd__"
+_MAP = "__map__"
+_TUPLE = "__tuple__"
+_BYTES = "__bytes__"
+_PICKLE = "__pickle__"
+_SCALAR = "__np__"
+
+
+class CheckpointEncodeError(TypeError):
+    """A value could not be encoded (pickle disabled or key not a string)."""
+
+
+def encode_tree(
+    tree: Any, allow_pickle: bool = True
+) -> Tuple[Any, Dict[str, np.ndarray]]:
+    """Split ``tree`` into a JSON-safe skeleton and an array mapping."""
+    arrays: Dict[str, np.ndarray] = {}
+
+    def reserve(arr: np.ndarray) -> str:
+        key = f"a{len(arrays)}"
+        arrays[key] = arr
+        return key
+
+    def enc(value: Any) -> Any:
+        if value is None or isinstance(value, (bool, int, float, str)):
+            return value
+        if isinstance(value, np.ndarray):
+            return {_ND: reserve(value)}
+        if isinstance(value, (np.bool_, np.integer, np.floating)):
+            # Preserve the numpy dtype so e.g. an np.float64 counter comes
+            # back as one (stored as a 0-d array).
+            return {_SCALAR: reserve(np.asarray(value))}
+        if isinstance(value, dict):
+            out = {}
+            for k, v in value.items():
+                if not isinstance(k, str):
+                    raise CheckpointEncodeError(
+                        f"checkpoint dict keys must be strings, got {k!r}"
+                    )
+                out[k] = enc(v)
+            return {_MAP: out}
+        if isinstance(value, tuple):
+            return {_TUPLE: [enc(v) for v in value]}
+        if isinstance(value, list):
+            return [enc(v) for v in value]
+        if isinstance(value, (bytes, bytearray)):
+            return {_BYTES: reserve(np.frombuffer(bytes(value), dtype=np.uint8))}
+        if allow_pickle:
+            blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            return {_PICKLE: reserve(np.frombuffer(blob, dtype=np.uint8))}
+        raise CheckpointEncodeError(
+            f"cannot encode {type(value).__name__!r} without pickle"
+        )
+
+    return enc(tree), arrays
+
+
+def decode_tree(
+    skeleton: Any, arrays: Dict[str, np.ndarray], allow_pickle: bool = True
+) -> Any:
+    """Rebuild the tree produced by :func:`encode_tree`."""
+
+    def dec(value: Any) -> Any:
+        if isinstance(value, dict):
+            if _ND in value:
+                return np.array(arrays[value[_ND]], copy=True)
+            if _SCALAR in value:
+                return arrays[value[_SCALAR]][()]
+            if _MAP in value:
+                return {k: dec(v) for k, v in value[_MAP].items()}
+            if _TUPLE in value:
+                return tuple(dec(v) for v in value[_TUPLE])
+            if _BYTES in value:
+                return arrays[value[_BYTES]].tobytes()
+            if _PICKLE in value:
+                if not allow_pickle:
+                    raise CheckpointEncodeError(
+                        "snapshot contains pickled payloads but allow_pickle=False"
+                    )
+                return pickle.loads(arrays[value[_PICKLE]].tobytes())
+            raise CheckpointEncodeError(f"unknown skeleton marker in {value!r}")
+        if isinstance(value, list):
+            return [dec(v) for v in value]
+        return value
+
+    return dec(skeleton)

@@ -33,14 +33,15 @@ def _cmd_list(args) -> int:
 
 def _cmd_experiment(args) -> int:
     exp = get_experiment(args.id)
+    ckpt = dict(checkpoint_dir=args.checkpoint_dir, resume=args.resume)
     kwargs = {}
     if args.full:
         kwargs["full"] = True
     try:
-        print(exp.execute(**kwargs))
+        print(exp.execute(**ckpt, **kwargs))
     except TypeError:
         # Some experiments (fig5, table2, overhead) take no `full` flag.
-        print(exp.execute())
+        print(exp.execute(**ckpt))
     return 0
 
 
@@ -100,6 +101,9 @@ def _cmd_train(args) -> int:
         episodes=args.episodes if args.episodes else profile.train_episodes,
         num_cores=profile.num_cores, seed=args.seed, agent=agent, config=cfg,
         verbose=True,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
     )
     agent.save(args.out)
     print(f"saved trained agent to {args.out}")
@@ -117,6 +121,14 @@ def build_parser() -> argparse.ArgumentParser:
     sp = sub.add_parser("experiment", help="run one paper experiment by id")
     sp.add_argument("id", help="experiment id, e.g. fig7, table2")
     sp.add_argument("--full", action="store_true", help="full-scale profile")
+    sp.add_argument(
+        "--checkpoint-dir", default=None,
+        help="snapshot experiment progress here (kill/resume safe)",
+    )
+    sp.add_argument(
+        "--resume", action="store_true",
+        help="resume from the newest valid snapshot in --checkpoint-dir",
+    )
     sp.set_defaults(fn=_cmd_experiment)
 
     sp = sub.add_parser("compare", help="compare policies on one app")
@@ -132,6 +144,18 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--seed", type=int, default=7)
     sp.add_argument("--out", default="deeppower-agent.npz")
     sp.add_argument("--full", action="store_true")
+    sp.add_argument(
+        "--checkpoint-dir", default=None,
+        help="autosave full training state here (crash/kill safe)",
+    )
+    sp.add_argument(
+        "--checkpoint-every", type=int, default=1,
+        help="episodes between autosaves (default: every episode)",
+    )
+    sp.add_argument(
+        "--resume", action="store_true",
+        help="resume training from the newest valid snapshot",
+    )
     sp.set_defaults(fn=_cmd_train)
     return p
 

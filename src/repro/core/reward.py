@@ -163,3 +163,14 @@ class RewardCalculator:
     def reset(self) -> None:
         """Forget the previous queue length (episode boundary)."""
         self._prev_queue_len = None
+
+    # ------------------------------------------------------------- persistence
+
+    def state_dict(self) -> dict:
+        """Snapshot of the window accumulator (the queue-growth memory)."""
+        return {"prev_queue_len": self._prev_queue_len, "eta": self.eta}
+
+    def load_state_dict(self, state: dict) -> None:
+        prev = state["prev_queue_len"]
+        self._prev_queue_len = None if prev is None else int(prev)
+        self.eta = float(state["eta"])

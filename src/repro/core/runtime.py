@@ -25,9 +25,12 @@ cooldown.  Trips, recoveries and per-step anomaly counts are exposed on
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..checkpoint import CheckpointManager
 
 from ..cpu.governors import Governor
 from ..cpu.rapl import PowerMonitor
@@ -63,6 +66,12 @@ class DeepPowerConfig:
     #: Enable the runtime watchdog (anomaly screening + safe-fallback
     #: degradation); None = no watchdog, the historical behaviour.
     watchdog: Optional[WatchdogConfig] = None
+    #: Periodic autosave target; with ``checkpoint_every_steps`` > 0 the
+    #: runtime snapshots its full state (agent, controller, observer,
+    #: reward window, watchdog) every N DRL steps.
+    checkpoint: Optional["CheckpointManager"] = None
+    #: DRL steps between autosaves (0 = autosave disabled).
+    checkpoint_every_steps: int = 0
 
 
 @dataclass(frozen=True)
@@ -234,6 +243,14 @@ class DeepPowerRuntime:
             elif transition == "rearm":
                 self._exit_fallback()
         self.step_count += 1
+        if (
+            self.cfg.checkpoint is not None
+            and self.cfg.checkpoint_every_steps > 0
+            and self.step_count % self.cfg.checkpoint_every_steps == 0
+        ):
+            self.cfg.checkpoint.save(
+                self.state_dict(), step=self.step_count, meta={"kind": "runtime"}
+            )
 
         if self.cfg.record_steps:
             window = max(snap.window, 1e-12)
@@ -274,6 +291,57 @@ class DeepPowerRuntime:
         self.controller.set_params(*self.watchdog.cfg.safe_action)
         self.controller.start()
         self._last_tick_count = self.controller.tick_count
+
+    # ------------------------------------------------------------- persistence
+
+    def state_dict(self) -> dict:
+        """Snapshot of the control stack around the agent.
+
+        Captures everything that outlives a single DRL step: the full
+        learner state, the controller's (BaseFreq, ScalingCoef), the
+        observer's adaptive normalisers, the reward window accumulator,
+        the watchdog machine, and the step/transition bookkeeping.  The
+        simulated environment (event heap, in-flight requests) is *not*
+        state — a resumed runtime re-attaches to a live or freshly built
+        server, exactly like a restarted production controller.
+        """
+        prev = None
+        if self._prev is not None:
+            s_prev, a_prev = self._prev
+            prev = {"state": np.array(s_prev), "action": np.array(a_prev)}
+        return {
+            "kind": "deeppower-runtime",
+            "step_count": self.step_count,
+            "agent": self.agent.state_dict(),
+            "controller": self.controller.state_dict(),
+            "observer": self.observer.state_dict(),
+            "reward_calc": self.reward_calc.state_dict(),
+            "prev": prev,
+            "last_tick_count": self._last_tick_count,
+            "watchdog": None if self.watchdog is None else self.watchdog.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot taken by :meth:`state_dict`.
+
+        Call on a stopped runtime, then :meth:`start` to resume control.
+        """
+        if state.get("kind") != "deeppower-runtime":
+            raise ValueError("not a DeepPowerRuntime snapshot")
+        self.agent.load_state_dict(state["agent"])
+        self.controller.load_state_dict(state["controller"])
+        self.observer.load_state_dict(state["observer"])
+        self.reward_calc.load_state_dict(state["reward_calc"])
+        prev = state["prev"]
+        self._prev = None if prev is None else (prev["state"], prev["action"])
+        self._last_tick_count = int(state["last_tick_count"])
+        self.step_count = int(state["step_count"])
+        if state["watchdog"] is not None:
+            if self.watchdog is None:
+                raise ValueError(
+                    "snapshot carries watchdog state but this runtime has no watchdog"
+                )
+            self.watchdog.load_state_dict(state["watchdog"])
 
     # ------------------------------------------------------------------- views
 

@@ -11,7 +11,7 @@ ReTail/Gemini.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -92,3 +92,18 @@ class StateObserver:
         self._max = self._floor.copy()
         self.history.clear()
         self.raw_history.clear()
+
+    # ------------------------------------------------------------- persistence
+
+    def state_dict(self) -> Dict:
+        """Snapshot of the adaptive normalisers (histories are artifacts,
+        not state, and are not captured)."""
+        return {"max": self._max.copy(), "floor": self._floor.copy()}
+
+    def load_state_dict(self, state: Dict) -> None:
+        max_arr = np.asarray(state["max"], dtype=np.float64)
+        floor_arr = np.asarray(state["floor"], dtype=np.float64)
+        if max_arr.shape != (STATE_DIM,) or floor_arr.shape != (STATE_DIM,):
+            raise ValueError("observer snapshot has wrong dimensionality")
+        self._max = max_arr.copy()
+        self._floor = floor_arr.copy()

@@ -107,6 +107,20 @@ class ThreadController:
         if self._task is not None:
             self._task.stop()
 
+    # ------------------------------------------------------------- persistence
+
+    def state_dict(self) -> dict:
+        """Snapshot of the DRL-provided parameters and tick counter."""
+        return {
+            "base_freq": self.base_freq,
+            "scaling_coef": self.scaling_coef,
+            "tick_count": self.tick_count,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.set_params(float(state["base_freq"]), float(state["scaling_coef"]))
+        self.tick_count = int(state["tick_count"])
+
     # -------------------------------------------------------------------- tick
 
     def scores(self, now: float) -> np.ndarray:

@@ -6,19 +6,31 @@ workload.  :func:`train_deeppower` runs E episodes of a trace (fresh
 simulated stack per episode, shared agent and replay pool — the standard
 episodic-training arrangement for a system that must be restartable), and
 :func:`evaluate_deeppower` replays the policy deterministically.
+
+Crash safety: with ``checkpoint_dir`` set, training autosaves the complete
+learner state (plus episode statistics and, optionally, per-step histories)
+every ``checkpoint_every`` episodes through a
+:class:`~repro.checkpoint.CheckpointManager`.  A run killed at any point
+and re-invoked with ``resume=True`` restores the newest valid snapshot and
+continues at the next unfinished episode; because per-episode seeds depend
+only on the episode index and the agent snapshot is bit-exact (networks,
+optimizer slots, replay pool, noise schedule, RNG stream), the resumed
+run's reward/action/frequency histories are bitwise identical to an
+uninterrupted run with the same seed.
 """
 
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, List, Optional
+from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..experiments.runner import RunResult
 
+from ..checkpoint import CheckpointManager
 from ..sim.rng import RngRegistry
 from ..workload.apps import AppSpec
 from ..workload.trace import WorkloadTrace
@@ -47,6 +59,12 @@ class TrainingResult:
 
     agent: DeepPowerAgent
     episodes: List[EpisodeStats] = field(default_factory=list)
+    #: Per-episode step histories (reward/action/frequency arrays), kept
+    #: only when ``keep_histories=True`` — the payload the deterministic-
+    #: resume guarantee is stated over.
+    histories: List[Dict[str, np.ndarray]] = field(default_factory=list)
+    #: Episode index training started at (0 unless resumed).
+    resumed_from: int = 0
 
     def reward_curve(self) -> np.ndarray:
         return np.array([e.mean_reward for e in self.episodes])
@@ -77,6 +95,27 @@ def _runtime_extras(ctx, driver):
     }
 
 
+def _episode_history(run: "RunResult") -> Dict[str, np.ndarray]:
+    """Per-step arrays for one episode (the deterministic-resume payload)."""
+    records = run.extras["records"]
+    trace = run.extras.get("freq_trace") or []
+    return {
+        "rewards": np.array(
+            [r.reward.total for r in records if r.reward is not None]
+        ),
+        "actions": (
+            np.stack([r.action for r in records]) if records else np.zeros((0, 2))
+        ),
+        "avg_frequency": np.array([r.avg_frequency for r in records]),
+        "core_frequencies": (
+            np.stack([p.frequencies for p in trace]) if trace else np.zeros((0, 0))
+        ),
+    }
+
+
+_TRAINING_CKPT_KIND = "training"
+
+
 def train_deeppower(
     app: AppSpec,
     trace: WorkloadTrace,
@@ -86,26 +125,64 @@ def train_deeppower(
     agent: Optional[DeepPowerAgent] = None,
     config: Optional[DeepPowerConfig] = None,
     verbose: bool = False,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every: int = 1,
+    resume: bool = False,
+    keep_histories: bool = False,
 ) -> TrainingResult:
     """Train a DeepPower agent over repeated plays of ``trace``.
 
     Each episode uses a distinct arrival random stream (``seed`` offset by
     the episode index) so the agent sees stochastic variation of the same
     diurnal pattern, as a live system would across days.
+
+    Parameters
+    ----------
+    checkpoint_dir:
+        Autosave the full training state here every ``checkpoint_every``
+        episodes (None = no checkpointing).
+    resume:
+        Restore the newest valid snapshot from ``checkpoint_dir`` before
+        training and continue at the next unfinished episode.  Episodes
+        trained after a resume are bitwise identical to the uninterrupted
+        same-seed run.
+    keep_histories:
+        Collect per-step reward/action/frequency arrays for every episode
+        on the result (and inside snapshots, so a resumed result still
+        carries the full history).
     """
     from ..experiments.runner import run_policy  # deferred: avoids core->experiments cycle
 
     if episodes <= 0:
         raise ValueError("episodes must be positive")
+    if checkpoint_every <= 0:
+        raise ValueError("checkpoint_every must be positive")
     rngs = RngRegistry(seed)
     if agent is None:
         agent = DeepPowerAgent(rngs.get("agent"), default_ddpg_config())
     cfg = copy.copy(config) if config is not None else DeepPowerConfig()
     cfg.train = True
 
+    manager = (
+        CheckpointManager(checkpoint_dir, prefix="train") if checkpoint_dir else None
+    )
     result = TrainingResult(agent=agent)
+    start_ep = 0
+    if manager is not None and resume:
+        record = manager.load_latest()
+        if record is not None and record.meta.get("kind") == _TRAINING_CKPT_KIND:
+            agent.load_state_dict(record.state["agent"])
+            result.episodes = [
+                EpisodeStats(**stats) for stats in record.state["episodes"]
+            ]
+            result.histories = list(record.state.get("histories") or [])
+            start_ep = int(record.state["next_episode"])
+            result.resumed_from = start_ep
+            if verbose:  # pragma: no cover - console convenience
+                print(f"resumed from {record.path} at episode {start_ep}")
+
     factory = _make_runtime_factory(agent, cfg)
-    for ep in range(episodes):
+    for ep in range(start_ep, episodes):
         run = run_policy(
             factory,
             app,
@@ -127,12 +204,29 @@ def train_deeppower(
             completed=run.metrics.completed,
         )
         result.episodes.append(stats)
+        if keep_histories:
+            result.histories.append(_episode_history(run))
         if verbose:  # pragma: no cover - console convenience
             print(
                 f"episode {ep:3d}: reward {stats.mean_reward:8.4f}  "
                 f"power {stats.avg_power_watts:6.1f} W  "
                 f"p99 {stats.tail_latency * 1e3:7.1f} ms  "
                 f"timeout {stats.timeout_rate:6.2%}"
+            )
+        done = ep + 1
+        if manager is not None and (
+            done % checkpoint_every == 0 or done == episodes
+        ):
+            manager.save(
+                {
+                    "next_episode": done,
+                    "agent": agent.state_dict(),
+                    "episodes": [asdict(s) for s in result.episodes],
+                    "histories": result.histories if keep_histories else None,
+                    "seed": seed,
+                },
+                step=done,
+                meta={"kind": _TRAINING_CKPT_KIND, "app": app.name},
             )
     return result
 

@@ -25,7 +25,10 @@ from __future__ import annotations
 import os
 import warnings
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..checkpoint import CheckpointManager
 
 from ..analysis.reporting import format_table
 from ..baselines.gemini import GeminiPolicy
@@ -172,18 +175,35 @@ def trained_agent(
     return agent, cfg
 
 
+_FIG7_CKPT_KIND = "fig7-partial"
+
+
 def run_fig7(
     apps: Optional[Sequence[str]] = None,
     full: Optional[bool] = None,
     seed: int = 7,
     use_cache: bool = True,
     verbose: bool = False,
+    checkpoint: Optional["CheckpointManager"] = None,
 ) -> Dict[str, Fig7AppResult]:
-    """The full Fig 7 pipeline for each app."""
+    """The full Fig 7 pipeline for each app.
+
+    With ``checkpoint`` set, each finished app's result is snapshotted, and
+    a re-run resumes at the first app without a completed result — a killed
+    multi-hour sweep repeats at most one app's work.
+    """
     profile = active_profile(full)
     apps = apps if apps is not None else ("xapian", "masstree", "moses", "sphinx", "img-dnn")
     results: Dict[str, Fig7AppResult] = {}
+    if checkpoint is not None:
+        record = checkpoint.load_latest()
+        if record is not None and record.meta.get("kind") == _FIG7_CKPT_KIND:
+            results.update(
+                {k: v for k, v in record.state["results"].items() if k in apps}
+            )
     for name in apps:
+        if name in results:
+            continue
         app = get_app(name)
         nw = workers_for(name, profile.num_cores)
         base_trace = evaluation_trace(profile)
@@ -223,6 +243,12 @@ def run_fig7(
                 saving_vs_baseline=1.0 - m.avg_power_watts / base_power,
             )
         results[name] = app_res
+        if checkpoint is not None:
+            checkpoint.save(
+                {"results": results},
+                step=len(results),
+                meta={"kind": _FIG7_CKPT_KIND},
+            )
     return results
 
 

@@ -7,8 +7,10 @@ code that regenerates it, as indexed in DESIGN.md §4.  Used by the CLI
 
 from __future__ import annotations
 
+import inspect
+import os
 from dataclasses import dataclass
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 from .ablations import (
     render_ablation_rows,
@@ -44,9 +46,46 @@ class Experiment:
     run: Callable
     render: Callable
 
-    def execute(self, **kwargs) -> str:
-        """Run and render to text."""
-        return self.render(self.run(**kwargs))
+    def execute(
+        self,
+        checkpoint_dir: Optional[str] = None,
+        resume: bool = False,
+        **kwargs,
+    ) -> str:
+        """Run and render to text.
+
+        With ``checkpoint_dir`` set, the experiment becomes kill/resume
+        safe: its finished result is snapshotted under
+        ``<checkpoint_dir>/<id>/``, and ``resume=True`` renders a stored
+        result instead of recomputing.  Experiments whose run function
+        accepts a ``checkpoint`` keyword (e.g. fig7) additionally get the
+        manager passed through for finer-grained mid-run snapshots, so a
+        killed run restarts from its last completed stage.
+        """
+        if checkpoint_dir is None:
+            return self.render(self.run(**kwargs))
+        from ..checkpoint import CheckpointManager
+
+        manager = CheckpointManager(
+            os.path.join(checkpoint_dir, self.id), prefix="exp"
+        )
+        if resume:
+            record = manager.load_latest()
+            if record is not None and record.meta.get("kind") == "experiment-result":
+                return self.render(record.state["result"])
+        params = inspect.signature(self.run).parameters
+        if "checkpoint" in params and params["checkpoint"].kind in (
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            inspect.Parameter.KEYWORD_ONLY,
+        ):
+            kwargs["checkpoint"] = manager
+        result = self.run(**kwargs)
+        manager.save(
+            {"result": result},
+            step=(manager.latest_step() or 0) + 1,
+            meta={"kind": "experiment-result", "experiment": self.id},
+        )
+        return self.render(result)
 
 
 def _render_dicts(rows) -> str:

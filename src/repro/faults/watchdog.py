@@ -291,3 +291,46 @@ class Watchdog:
             "fallback_steps": self.fallback_steps,
             "current_cooldown": self._cooldown,
         }
+
+    # ------------------------------------------------------------- persistence
+
+    def state_dict(self) -> Dict:
+        """Full snapshot: counters plus the trip/re-arm machine internals."""
+        return {
+            "trips": self.trips,
+            "recoveries": self.recoveries,
+            "total_anomalies": self.total_anomalies,
+            "anomaly_counts": dict(self.anomaly_counts),
+            "fallback_steps": self.fallback_steps,
+            "tripped": self.tripped,
+            "recent": list(self._recent),
+            "step_anomalies": self._step_anomalies,
+            "healthy_streak": self._healthy_streak,
+            "cooldown": self._cooldown,
+            "step_index": self._step_index,
+            "last_recovery_step": self._last_recovery_step,
+            "last_power": self._last_power,
+            "last_state": None if self._last_state is None else self._last_state.copy(),
+            "last_queue_len": self._last_queue_len,
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        self.trips = int(state["trips"])
+        self.recoveries = int(state["recoveries"])
+        self.total_anomalies = int(state["total_anomalies"])
+        self.anomaly_counts = {k: int(v) for k, v in state["anomaly_counts"].items()}
+        self.fallback_steps = int(state["fallback_steps"])
+        self.tripped = bool(state["tripped"])
+        self._recent = deque(
+            (bool(v) for v in state["recent"]), maxlen=self.cfg.window_steps
+        )
+        self._step_anomalies = int(state["step_anomalies"])
+        self._healthy_streak = int(state["healthy_streak"])
+        self._cooldown = int(state["cooldown"])
+        self._step_index = int(state["step_index"])
+        last_rec = state["last_recovery_step"]
+        self._last_recovery_step = None if last_rec is None else int(last_rec)
+        self._last_power = float(state["last_power"])
+        last_state = state["last_state"]
+        self._last_state = None if last_state is None else np.array(last_state)
+        self._last_queue_len = int(state["last_queue_len"])

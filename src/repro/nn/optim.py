@@ -43,6 +43,26 @@ class Optimizer:
         for p in self.params:
             p.zero_grad()
 
+    # ------------------------------------------------------------- persistence
+
+    def state_dict(self) -> Dict:
+        """Snapshot of the optimizer's slot state (momentum, moments, ...).
+
+        Slots are stored positionally (aligned with ``self.params``), since
+        the ``id()`` keys used internally do not survive a process restart.
+        """
+        raise NotImplementedError
+
+    def load_state_dict(self, state: Dict) -> None:
+        raise NotImplementedError
+
+    def _check_slots(self, slots: List) -> None:
+        if len(slots) != len(self.params):
+            raise ValueError(
+                f"optimizer snapshot has {len(slots)} parameter slots, "
+                f"this optimizer has {len(self.params)}"
+            )
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum."""
@@ -68,6 +88,26 @@ class SGD(Optimizer):
                 p.data += v
             else:
                 p.data -= self.lr * p.grad
+
+    def state_dict(self) -> Dict:
+        return {
+            "lr": self.lr,
+            "momentum": self.momentum,
+            "velocity": [
+                None if (v := self._vel.get(id(p))) is None else v.copy()
+                for p in self.params
+            ],
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        self._check_slots(state["velocity"])
+        self.lr = float(state["lr"])
+        self.momentum = float(state["momentum"])
+        self._vel = {
+            id(p): np.array(v, dtype=np.float64)
+            for p, v in zip(self.params, state["velocity"])
+            if v is not None
+        }
 
 
 class Adam(Optimizer):
@@ -116,3 +156,39 @@ class Adam(Optimizer):
             v *= self.b2
             v += (1.0 - self.b2) * g * g
             p.data -= self.lr * (m / b1t) / (np.sqrt(v / b2t) + self.eps)
+
+    def state_dict(self) -> Dict:
+        return {
+            "lr": self.lr,
+            "betas": (self.b1, self.b2),
+            "eps": self.eps,
+            "weight_decay": self.weight_decay,
+            "t": self.t,
+            "m": [
+                None if (m := self._m.get(id(p))) is None else m.copy()
+                for p in self.params
+            ],
+            "v": [
+                None if (v := self._v.get(id(p))) is None else v.copy()
+                for p in self.params
+            ],
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        self._check_slots(state["m"])
+        self._check_slots(state["v"])
+        self.lr = float(state["lr"])
+        self.b1, self.b2 = (float(b) for b in state["betas"])
+        self.eps = float(state["eps"])
+        self.weight_decay = float(state["weight_decay"])
+        self.t = int(state["t"])
+        self._m = {
+            id(p): np.array(m, dtype=np.float64)
+            for p, m in zip(self.params, state["m"])
+            if m is not None
+        }
+        self._v = {
+            id(p): np.array(v, dtype=np.float64)
+            for p, v in zip(self.params, state["v"])
+            if v is not None
+        }

@@ -3,11 +3,23 @@
 The paper "saves the neural network parameters after training" and reloads
 them for testing; these helpers provide that workflow for any
 :class:`~repro.nn.network.Module`.
+
+Two durability guarantees:
+
+* **Extension normalisation** — ``np.savez("foo")`` silently writes
+  ``foo.npz``; both save and load append the extension when missing, so a
+  path without it round-trips instead of raising ``FileNotFoundError``.
+* **Atomic writes** — archives are written to a same-directory temp file,
+  fsynced and ``os.replace``d into place, so a crash mid-save can never
+  leave a truncated archive under the final name (the fig7 agent cache
+  relies on this: a half-written cache would otherwise be discarded and
+  retrained on the next run).
 """
 
 from __future__ import annotations
 
 import os
+import tempfile
 from typing import Dict
 
 import numpy as np
@@ -17,13 +29,38 @@ from .network import Module
 __all__ = ["save_module", "load_module", "save_modules", "load_modules"]
 
 
+def _npz_path(path: str) -> str:
+    """The path ``np.savez`` actually writes for ``path``."""
+    return path if path.endswith(".npz") else path + ".npz"
+
+
+def _atomic_savez(path: str, payload: Dict[str, np.ndarray]) -> None:
+    """Write an ``.npz`` archive atomically (temp file + fsync + rename)."""
+    path = _npz_path(path)
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".npz.tmp")
+    try:
+        with os.fdopen(fd, "wb") as f:
+            np.savez(f, **payload)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
 def save_module(module: Module, path: str) -> None:
-    """Write a module's parameters to ``path`` (``.npz``)."""
-    np.savez(path, **module.state_dict())
+    """Write a module's parameters to ``path`` (``.npz``), atomically."""
+    _atomic_savez(path, module.state_dict())
 
 
 def load_module(module: Module, path: str) -> None:
     """Load parameters saved by :func:`save_module` into ``module``."""
+    path = _npz_path(path)
     if not os.path.exists(path):
         raise FileNotFoundError(path)
     with np.load(path) as data:
@@ -36,11 +73,12 @@ def save_modules(modules: Dict[str, Module], path: str) -> None:
     for name, mod in modules.items():
         for key, arr in mod.state_dict().items():
             payload[f"{name}/{key}"] = arr
-    np.savez(path, **payload)
+    _atomic_savez(path, payload)
 
 
 def load_modules(modules: Dict[str, Module], path: str) -> None:
     """Load an archive produced by :func:`save_modules`."""
+    path = _npz_path(path)
     if not os.path.exists(path):
         raise FileNotFoundError(path)
     with np.load(path) as data:

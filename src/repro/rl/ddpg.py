@@ -23,6 +23,7 @@ import numpy as np
 from ..nn.network import Module
 from ..nn.optim import Adam, clip_grad_norm
 from ..nn.losses import mse_loss
+from ..sim.rng import generator_state, restore_generator
 from .critics import StateActionCritic
 from .noise import GaussianNoise
 from .replay import ReplayBuffer, batch_is_finite
@@ -190,3 +191,48 @@ class DdpgAgent:
             "actor_loss": actor_loss,
             "mean_q": float(q.mean()),
         }
+
+    # ------------------------------------------------------------- persistence
+
+    def state_dict(self) -> Dict:
+        """Complete learner snapshot: a restored agent continues the exact
+        action/update sequence the original would have produced (networks,
+        optimizer slots, replay pool, exploration-noise schedule, RNG stream,
+        and step counters are all captured bit-exactly)."""
+        return {
+            "algo": "ddpg",
+            "actor": self.actor.state_dict(),
+            "actor_target": self.actor_target.state_dict(),
+            "critic": self.critic.state_dict(),
+            "critic_target": self.critic_target.state_dict(),
+            "actor_opt": self.actor_opt.state_dict(),
+            "critic_opt": self.critic_opt.state_dict(),
+            "replay": self.replay.state_dict(),
+            "noise": self.noise.state_dict(),
+            "rng": generator_state(self.rng),
+            "steps": self.steps,
+            "updates": self.updates,
+            "skipped_updates": self.skipped_updates,
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Restore a snapshot taken by :meth:`state_dict`.
+
+        The RNG state is restored into the *existing* generator object, so
+        every component sharing it (exploration noise, replay sampling)
+        continues the same stream.
+        """
+        if state.get("algo") != "ddpg":
+            raise ValueError(f"snapshot is for algo {state.get('algo')!r}, not 'ddpg'")
+        self.actor.load_state_dict(state["actor"])
+        self.actor_target.load_state_dict(state["actor_target"])
+        self.critic.load_state_dict(state["critic"])
+        self.critic_target.load_state_dict(state["critic_target"])
+        self.actor_opt.load_state_dict(state["actor_opt"])
+        self.critic_opt.load_state_dict(state["critic_opt"])
+        self.replay.load_state_dict(state["replay"])
+        self.noise.load_state_dict(state["noise"])
+        restore_generator(self.rng, state["rng"])
+        self.steps = int(state["steps"])
+        self.updates = int(state["updates"])
+        self.skipped_updates = int(state["skipped_updates"])

@@ -10,6 +10,8 @@ Ornstein–Uhlenbeck process is included as the classic DDPG alternative.
 
 from __future__ import annotations
 
+from typing import Dict
+
 import numpy as np
 
 __all__ = ["GaussianNoise", "OrnsteinUhlenbeckNoise"]
@@ -67,6 +69,16 @@ class GaussianNoise:
         """Restore the initial noise parameters."""
         self.mu, self.sigma = self.mu0, self.sigma0
 
+    def state_dict(self) -> Dict:
+        """Snapshot of the annealing state (the RNG is owned by the agent)."""
+        return {"mu": self.mu, "sigma": self.sigma, "mu0": self.mu0, "sigma0": self.sigma0}
+
+    def load_state_dict(self, state: Dict) -> None:
+        self.mu = float(state["mu"])
+        self.sigma = float(state["sigma"])
+        self.mu0 = float(state["mu0"])
+        self.sigma0 = float(state["sigma0"])
+
 
 class OrnsteinUhlenbeckNoise:
     """Temporally correlated OU noise (Lillicrap et al. 2015 default).
@@ -107,3 +119,13 @@ class OrnsteinUhlenbeckNoise:
 
     def reset(self) -> None:
         self._x = np.full(self.dim, self.mu)
+
+    def state_dict(self) -> Dict:
+        """Snapshot of the process position."""
+        return {"x": self._x.copy()}
+
+    def load_state_dict(self, state: Dict) -> None:
+        x = np.asarray(state["x"], dtype=np.float64)
+        if x.shape != (self.dim,):
+            raise ValueError(f"OU snapshot has dim {x.shape}, process has {self.dim}")
+        self._x = x.copy()

@@ -7,7 +7,7 @@ vectorised uniform sampling, no per-transition object overhead.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 
@@ -123,3 +123,46 @@ class ReplayBuffer:
     def clear(self) -> None:
         self._size = 0
         self._pos = 0
+
+    # ------------------------------------------------------------- persistence
+
+    def state_dict(self) -> Dict:
+        """Snapshot of the pool: stored transitions + cursor, bit-exact.
+
+        Only the filled region is captured, so a warm-up-sized pool costs a
+        warm-up-sized snapshot regardless of capacity.
+        """
+        n = self._size
+        return {
+            "capacity": self.capacity,
+            "state_dim": self.state_dim,
+            "action_dim": self.action_dim,
+            "size": n,
+            "pos": self._pos,
+            "total_pushed": self.total_pushed,
+            "states": self._states[:n].copy(),
+            "actions": self._actions[:n].copy(),
+            "rewards": self._rewards[:n].copy(),
+            "next_states": self._next_states[:n].copy(),
+            "dones": self._dones[:n].copy(),
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Restore a snapshot taken by :meth:`state_dict`."""
+        for field_name in ("capacity", "state_dim", "action_dim"):
+            if int(state[field_name]) != getattr(self, field_name):
+                raise ValueError(
+                    f"replay {field_name} mismatch: snapshot has "
+                    f"{state[field_name]}, buffer has {getattr(self, field_name)}"
+                )
+        n = int(state["size"])
+        if not 0 <= n <= self.capacity or not 0 <= int(state["pos"]) < max(self.capacity, 1):
+            raise ValueError("replay snapshot cursor out of range")
+        self._states[:n] = state["states"]
+        self._actions[:n] = state["actions"]
+        self._rewards[:n] = state["rewards"]
+        self._next_states[:n] = state["next_states"]
+        self._dones[:n] = state["dones"]
+        self._size = n
+        self._pos = int(state["pos"])
+        self.total_pushed = int(state["total_pushed"])

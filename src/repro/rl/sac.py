@@ -18,6 +18,7 @@ from ..nn.layers import Linear, Parameter
 from ..nn.network import MLP, Module
 from ..nn.optim import Adam, clip_grad_norm
 from ..nn.losses import mse_loss
+from ..sim.rng import generator_state, restore_generator
 from .critics import TwinCritic
 from .replay import ReplayBuffer, batch_is_finite
 
@@ -239,3 +240,33 @@ class SacAgent:
             "actor_loss": actor_loss,
             "entropy": float(-logp.mean()),
         }
+
+    # ------------------------------------------------------------- persistence
+
+    def state_dict(self) -> Dict:
+        """Complete learner snapshot (see :meth:`~repro.rl.ddpg.DdpgAgent.state_dict`)."""
+        return {
+            "algo": "sac",
+            "policy": self.policy.state_dict(),
+            "critic": self.critic.state_dict(),
+            "critic_target": self.critic_target.state_dict(),
+            "actor_opt": self.actor_opt.state_dict(),
+            "critic_opt": self.critic_opt.state_dict(),
+            "replay": self.replay.state_dict(),
+            "rng": generator_state(self.rng),
+            "updates": self.updates,
+            "skipped_updates": self.skipped_updates,
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        if state.get("algo") != "sac":
+            raise ValueError(f"snapshot is for algo {state.get('algo')!r}, not 'sac'")
+        self.policy.load_state_dict(state["policy"])
+        self.critic.load_state_dict(state["critic"])
+        self.critic_target.load_state_dict(state["critic_target"])
+        self.actor_opt.load_state_dict(state["actor_opt"])
+        self.critic_opt.load_state_dict(state["critic_opt"])
+        self.replay.load_state_dict(state["replay"])
+        restore_generator(self.rng, state["rng"])
+        self.updates = int(state["updates"])
+        self.skipped_updates = int(state["skipped_updates"])

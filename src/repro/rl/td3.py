@@ -20,6 +20,7 @@ import numpy as np
 from ..nn.losses import mse_loss
 from ..nn.network import Module
 from ..nn.optim import Adam, clip_grad_norm
+from ..sim.rng import generator_state, restore_generator
 from .critics import TwinCritic
 from .noise import GaussianNoise
 from .replay import ReplayBuffer, batch_is_finite
@@ -168,3 +169,39 @@ class Td3Agent:
             q_pi = self.critic.q1.forward_sa(s, self.actor.forward(s))
             out["actor_loss"] = float(-q_pi.mean())
         return out
+
+    # ------------------------------------------------------------- persistence
+
+    def state_dict(self) -> Dict:
+        """Complete learner snapshot (see :meth:`DdpgAgent.state_dict`)."""
+        return {
+            "algo": "td3",
+            "actor": self.actor.state_dict(),
+            "actor_target": self.actor_target.state_dict(),
+            "critic": self.critic.state_dict(),
+            "critic_target": self.critic_target.state_dict(),
+            "actor_opt": self.actor_opt.state_dict(),
+            "critic_opt": self.critic_opt.state_dict(),
+            "replay": self.replay.state_dict(),
+            "noise": self.noise.state_dict(),
+            "rng": generator_state(self.rng),
+            "steps": self.steps,
+            "updates": self.updates,
+            "skipped_updates": self.skipped_updates,
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        if state.get("algo") != "td3":
+            raise ValueError(f"snapshot is for algo {state.get('algo')!r}, not 'td3'")
+        self.actor.load_state_dict(state["actor"])
+        self.actor_target.load_state_dict(state["actor_target"])
+        self.critic.load_state_dict(state["critic"])
+        self.critic_target.load_state_dict(state["critic_target"])
+        self.actor_opt.load_state_dict(state["actor_opt"])
+        self.critic_opt.load_state_dict(state["critic_opt"])
+        self.replay.load_state_dict(state["replay"])
+        self.noise.load_state_dict(state["noise"])
+        restore_generator(self.rng, state["rng"])
+        self.steps = int(state["steps"])
+        self.updates = int(state["updates"])
+        self.skipped_updates = int(state["skipped_updates"])

@@ -15,7 +15,27 @@ from typing import Dict
 
 import numpy as np
 
-__all__ = ["RngRegistry", "stream_seed"]
+__all__ = ["RngRegistry", "stream_seed", "generator_state", "restore_generator"]
+
+
+def generator_state(gen: np.random.Generator) -> Dict:
+    """JSON-safe snapshot of a generator's bit-generator state.
+
+    PCG64's state words are 128-bit integers; python JSON carries them
+    exactly, so a round-trip continues the stream bit-for-bit.
+    """
+    return dict(gen.bit_generator.state)
+
+
+def restore_generator(gen: np.random.Generator, state: Dict) -> None:
+    """Restore a snapshot taken by :func:`generator_state` (in place)."""
+    expected = gen.bit_generator.state.get("bit_generator")
+    if state.get("bit_generator") != expected:
+        raise ValueError(
+            f"bit-generator mismatch: snapshot is {state.get('bit_generator')!r}, "
+            f"generator is {expected!r}"
+        )
+    gen.bit_generator.state = state
 
 
 def stream_seed(root_seed: int, name: str) -> np.random.SeedSequence:
@@ -69,6 +89,27 @@ class RngRegistry:
     def reset(self) -> None:
         """Drop all cached streams; subsequent ``get`` calls start fresh."""
         self._streams.clear()
+
+    # ------------------------------------------------------------- persistence
+
+    def state_dict(self) -> Dict:
+        """Snapshot: seed + the bit-generator state of every cached stream.
+
+        ``get_fresh``/``spawn`` generators are intentionally absent — they
+        are pure functions of ``(seed, name)``, so a restored registry
+        reproduces them exactly by construction.
+        """
+        return {
+            "seed": self.seed,
+            "streams": {name: generator_state(g) for name, g in self._streams.items()},
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Restore a snapshot: cached streams continue their sequences."""
+        self.seed = int(state["seed"])
+        self._streams.clear()
+        for name, gen_state in state["streams"].items():
+            restore_generator(self.get(name), gen_state)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RngRegistry(seed={self.seed}, streams={sorted(self._streams)})"

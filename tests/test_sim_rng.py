@@ -1,8 +1,11 @@
 """Tests for seeded RNG streams."""
 
-import numpy as np
+import json
 
-from repro.sim import RngRegistry, stream_seed
+import numpy as np
+import pytest
+
+from repro.sim import RngRegistry, generator_state, restore_generator, stream_seed
 
 
 class TestRngRegistry:
@@ -55,6 +58,84 @@ class TestRngRegistry:
         rngs.reset()
         again = rngs.get("s").random(5)
         assert np.array_equal(first, again)
+
+
+class TestGeneratorState:
+    def test_roundtrip_continues_stream_bitwise(self):
+        gen = np.random.default_rng(3)
+        gen.random(100)  # advance mid-stream
+        snap = generator_state(gen)
+        expected = gen.random(50)
+        other = np.random.default_rng(999)
+        restore_generator(other, snap)
+        assert np.array_equal(other.random(50), expected)
+
+    def test_snapshot_is_json_safe(self):
+        """PCG64's 128-bit state words must survive an actual JSON trip."""
+        gen = np.random.default_rng(3)
+        gen.random(10)
+        snap = json.loads(json.dumps(generator_state(gen)))
+        expected = gen.random(20)
+        other = np.random.default_rng(0)
+        restore_generator(other, snap)
+        assert np.array_equal(other.random(20), expected)
+
+    def test_bit_generator_mismatch_raises(self):
+        pcg_state = generator_state(np.random.default_rng(1))
+        mt = np.random.Generator(np.random.MT19937(1))
+        with pytest.raises(ValueError, match="mismatch"):
+            restore_generator(mt, pcg_state)
+
+
+class TestRngStatePersistence:
+    def test_cached_streams_continue_after_restore(self):
+        r1 = RngRegistry(9)
+        r1.get("arrivals").random(33)
+        r1.get("service").random(7)
+        snap = r1.state_dict()
+        expected = {
+            "arrivals": r1.get("arrivals").random(20),
+            "service": r1.get("service").random(20),
+        }
+        r2 = RngRegistry(0)  # wrong seed, pre-consumed streams: all overwritten
+        r2.get("arrivals").random(5)
+        r2.load_state_dict(snap)
+        assert r2.seed == 9
+        for name, vals in expected.items():
+            assert np.array_equal(r2.get(name).random(20), vals)
+
+    def test_restored_spawn_and_get_fresh_continue_exact_sequences(self):
+        """spawn/get_fresh are pure in (seed, name): a restored registry
+        reproduces their streams exactly without them being snapshotted."""
+        r1 = RngRegistry(9)
+        r1.get("agent").random(10)
+        snap = r1.state_dict()
+        assert "agent" in snap["streams"] and "ep#3" not in snap["streams"]
+        expected_spawn = r1.spawn("ep", 3).random(6)
+        expected_fresh = r1.get_fresh("init").random(6)
+
+        r2 = RngRegistry(0)
+        r2.load_state_dict(snap)
+        assert np.array_equal(r2.spawn("ep", 3).random(6), expected_spawn)
+        assert np.array_equal(r2.get_fresh("init").random(6), expected_fresh)
+
+    def test_snapshot_isolated_from_later_draws(self):
+        r1 = RngRegistry(4)
+        r1.get("x").random(5)
+        snap = r1.state_dict()
+        expected = r1.get("x").random(10)  # draws after the snapshot
+        r2 = RngRegistry(4)
+        r2.load_state_dict(snap)
+        assert np.array_equal(r2.get("x").random(10), expected)
+
+    def test_state_dict_is_json_safe(self):
+        r1 = RngRegistry(6)
+        r1.get("a").random(3)
+        snap = json.loads(json.dumps(r1.state_dict()))
+        expected = r1.get("a").random(8)
+        r2 = RngRegistry(6)
+        r2.load_state_dict(snap)
+        assert np.array_equal(r2.get("a").random(8), expected)
 
 
 class TestStreamSeed:

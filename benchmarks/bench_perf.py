@@ -1,0 +1,301 @@
+#!/usr/bin/env python
+"""Perf-regression harness for the simulation hot paths (ISSUE 3).
+
+Measures three things and writes ``BENCH_perf.json`` at the repo root:
+
+a. **Controller ticks/sec** — cost of the 1 ms thread-controller tick in
+   isolation (warm steady-state server, direct ``tick()`` calls with the
+   DRL parameters cycling so DVFS levels actually change), for both the
+   vectorised controller and a faithful reimplementation of the
+   pre-vectorisation per-core python loop (``speedup_vs_legacy`` is the
+   headline number).  Isolation keeps the measurement from being diluted
+   by request arrival/completion events — benchmark (b) covers those.
+b. **run_policy throughput** — simulated seconds and completed requests per
+   wall second for one baseline run.
+c. **Grid wall-clock** — the same spec grid executed serially and with
+   ``--jobs N`` through :func:`repro.parallel.run_grid` (cache disabled),
+   plus the measured speedup.  Parallel speedup is bounded by the machine:
+   the ``cpus`` field records how many cores were available.
+
+Regression gate (used by the CI perf-smoke job)::
+
+    python benchmarks/bench_perf.py --check
+
+fails (exit 1) when controller ticks/sec drops more than 30 % below the
+committed baseline in ``benchmarks/bench_perf_baseline.json``, or when the
+vectorised controller is slower than the legacy loop.  Machines differ, so
+the committed baseline is deliberately conservative; the vs-legacy ratio is
+measured in-process and is machine-independent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core.thread_controller import ThreadController  # noqa: E402
+from repro.experiments.runner import build_context, run_policy  # noqa: E402
+from repro.parallel import RunSpec, run_grid  # noqa: E402
+from repro.workload.apps import get_app  # noqa: E402
+from repro.workload.trace import constant_trace  # noqa: E402
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_perf.json")
+DEFAULT_BASELINE = os.path.join(os.path.dirname(__file__), "bench_perf_baseline.json")
+
+#: BENCH_perf.json schema version (documented in EXPERIMENTS.md).
+BENCH_SCHEMA = 1
+
+#: --check fails when ticks/sec falls below (1 - this) * baseline.
+REGRESSION_TOLERANCE = 0.30
+
+
+class _LegacyThreadController(ThreadController):
+    """The pre-vectorisation controller: per-core python loop every tick.
+
+    Kept here (not in src/) purely as the comparison point for the
+    ``speedup_vs_legacy`` measurement; behaviourally identical to the
+    vectorised controller.
+    """
+
+    def scores(self, now):
+        begins = self.server.begin_times()
+        consumed = np.array(
+            [0.0 if np.isnan(b) else (now - b) / self.sla for b in begins]
+        )
+        return consumed * self.scaling_coef + self.base_freq
+
+    def tick(self):
+        now = self.engine.now
+        sc = self.scores(now)
+        self.tick_count += 1
+        workers = self.server.workers
+        for i, w in enumerate(workers):
+            s = sc[i]
+            if s >= 1.0:
+                w.core.set_frequency(self._turbo)
+            else:
+                w.core.set_frequency(self._fmin + self._fspan * s)
+
+
+#: (BaseFreq, ScalingCoef) values cycled through during the tick benchmark
+#: so scores — and therefore quantised DVFS levels — actually change.
+_TICK_PARAM_CYCLE = [(0.2, 0.1), (0.5, 0.5), (0.8, 0.9), (0.35, 0.6)]
+
+#: Direct tick() calls per simulated benchmark second (--duration scales it).
+_TICKS_PER_DURATION_SECOND = 4000
+
+
+def bench_controller_ticks(
+    controller_cls, app_name: str = "xapian", num_cores: int = 4,
+    duration: float = 20.0, rps: float = 150.0, seed: int = 3,
+) -> dict:
+    """Wall-clock the controller tick in isolation.
+
+    Plays 2 simulated seconds of real load so some workers are mid-request
+    (scores mix idle and busy cores), then stops the periodic task and
+    times direct ``tick()`` calls.  The DRL parameters cycle every 16
+    ticks so the score -> frequency mapping shifts and cores take real
+    DVFS writes, as they do in a live run; both controller classes see the
+    identical deterministic sequence.
+    """
+    app = get_app(app_name)
+    warm_seconds = 2.0
+    ctx = build_context(app, constant_trace(rps, warm_seconds), num_cores, seed)
+    tc = controller_cls(ctx.engine, ctx.server)
+    tc.set_params(0.5, 0.5)
+    tc.start()
+    ctx.source.start()
+    ctx.engine.run_until(warm_seconds)
+    tc.stop()
+    ticks = max(1000, int(duration * _TICKS_PER_DURATION_SECOND))
+    cycle = _TICK_PARAM_CYCLE
+    t0 = time.perf_counter()
+    for i in range(ticks):
+        if i % 16 == 0:
+            tc.set_params(*cycle[(i >> 4) % len(cycle)])
+        tc.tick()
+    wall = time.perf_counter() - t0
+    return {
+        "ticks": ticks,
+        "wall_seconds": wall,
+        "ticks_per_sec": ticks / wall,
+    }
+
+
+def bench_run_policy(
+    app_name: str = "xapian", num_cores: int = 4,
+    duration: float = 20.0, rps: float = 150.0, seed: int = 3,
+) -> dict:
+    """Throughput of one full baseline run (build + play + summarise)."""
+    from repro.baselines.simple import MaxFrequencyPolicy
+
+    app = get_app(app_name)
+    trace = constant_trace(rps, duration)
+    t0 = time.perf_counter()
+    res = run_policy(
+        lambda ctx: MaxFrequencyPolicy(ctx), app, trace, num_cores, seed=seed
+    )
+    wall = time.perf_counter() - t0
+    return {
+        "wall_seconds": wall,
+        "sim_seconds": duration,
+        "sim_seconds_per_wall_second": duration / wall,
+        "requests": res.metrics.completed,
+        "requests_per_wall_second": res.metrics.completed / wall,
+    }
+
+
+def _grid_specs(apps, num_cores: int, duration: float, seed: int):
+    specs = []
+    for name in apps:
+        # gemini ticks a per-core controller every 1 ms, making each cell
+        # representative of real experiment cost (baseline cells are so
+        # cheap that pool start-up would dominate the comparison).
+        for load_rps in (80.0, 150.0, 220.0):
+            specs.append(
+                RunSpec(
+                    app=name,
+                    policy="gemini",
+                    trace=constant_trace(load_rps, duration),
+                    num_cores=num_cores,
+                    seed=seed,
+                    label="bench-perf",
+                )
+            )
+    return specs
+
+
+def bench_grid(apps, jobs: int, num_cores: int = 4, duration: float = 20.0,
+               seed: int = 3) -> dict:
+    """Wall-clock the same grid serially and fanned over ``jobs`` workers."""
+    specs = _grid_specs(apps, num_cores, duration, seed)
+
+    t0 = time.perf_counter()
+    serial = run_grid(specs, jobs=1)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = run_grid(specs, jobs=jobs)
+    parallel_s = time.perf_counter() - t0
+
+    for a, b in zip(serial, parallel):
+        if a.unwrap() != b.unwrap():  # pragma: no cover - determinism guard
+            raise AssertionError("parallel grid diverged from serial grid")
+    return {
+        "cells": len(specs),
+        "jobs": jobs,
+        "serial_seconds": serial_s,
+        "parallel_seconds": parallel_s,
+        "speedup": serial_s / parallel_s,
+    }
+
+
+def run_benchmarks(args) -> dict:
+    apps = [a.strip() for a in args.grid_apps.split(",") if a.strip()]
+    print(f"[bench_perf] controller ticks ({args.duration:.0f} sim-s) ...")
+    vec = bench_controller_ticks(ThreadController, duration=args.duration)
+    legacy = bench_controller_ticks(_LegacyThreadController, duration=args.duration)
+    print(
+        f"  vectorised {vec['ticks_per_sec']:,.0f} ticks/s, "
+        f"legacy {legacy['ticks_per_sec']:,.0f} ticks/s "
+        f"({vec['ticks_per_sec'] / legacy['ticks_per_sec']:.2f}x)"
+    )
+    print("[bench_perf] run_policy throughput ...")
+    rp = bench_run_policy(duration=args.duration)
+    print(f"  {rp['sim_seconds_per_wall_second']:.1f} sim-s/s")
+    print(f"[bench_perf] grid of {3 * len(apps)} cells, jobs={args.jobs} ...")
+    grid = bench_grid(apps, args.jobs, duration=args.duration)
+    print(
+        f"  serial {grid['serial_seconds']:.2f}s, "
+        f"jobs={args.jobs} {grid['parallel_seconds']:.2f}s "
+        f"({grid['speedup']:.2f}x on {os.cpu_count()} cpu(s))"
+    )
+    return {
+        "schema": BENCH_SCHEMA,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "cpus": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "controller": {
+            **{f"vectorized_{k}": v for k, v in vec.items()},
+            **{f"legacy_{k}": v for k, v in legacy.items()},
+            "ticks_per_sec": vec["ticks_per_sec"],
+            "speedup_vs_legacy": vec["ticks_per_sec"] / legacy["ticks_per_sec"],
+        },
+        "run_policy": rp,
+        "grid": grid,
+    }
+
+
+def check_regression(result: dict, baseline_path: str) -> int:
+    """Compare against the committed baseline; returns a process exit code."""
+    failures = []
+    ratio = result["controller"]["speedup_vs_legacy"]
+    if ratio < 1.0:
+        failures.append(
+            f"vectorised controller slower than legacy loop ({ratio:.2f}x)"
+        )
+    if os.path.exists(baseline_path):
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+        base_tps = baseline["controller"]["ticks_per_sec"]
+        tps = result["controller"]["ticks_per_sec"]
+        floor = (1.0 - REGRESSION_TOLERANCE) * base_tps
+        if tps < floor:
+            failures.append(
+                f"controller ticks/sec regressed: {tps:,.0f} < "
+                f"{floor:,.0f} (70% of baseline {base_tps:,.0f})"
+            )
+        else:
+            print(
+                f"[bench_perf] ticks/sec {tps:,.0f} vs baseline "
+                f"{base_tps:,.0f} (floor {floor:,.0f}): OK"
+            )
+    else:
+        print(f"[bench_perf] no baseline at {baseline_path}; skipping floor check")
+    if failures:
+        for msg in failures:
+            print(f"[bench_perf] REGRESSION: {msg}", file=sys.stderr)
+        return 1
+    print(f"[bench_perf] speedup_vs_legacy {ratio:.2f}x: OK")
+    return 0
+
+
+def main(argv=None) -> int:
+    p = argparse.ArgumentParser(description=__doc__)
+    p.add_argument("--jobs", type=int, default=4,
+                   help="worker processes for the grid comparison")
+    p.add_argument("--grid-apps", default="xapian,moses",
+                   help="comma-separated apps for the grid benchmark")
+    p.add_argument("--duration", type=float, default=20.0,
+                   help="simulated seconds per benchmark run")
+    p.add_argument("--out", default=DEFAULT_OUT,
+                   help="where to write the JSON report")
+    p.add_argument("--check", action="store_true",
+                   help="exit 1 on perf regression vs the committed baseline")
+    p.add_argument("--baseline", default=DEFAULT_BASELINE,
+                   help="baseline JSON for --check")
+    args = p.parse_args(argv)
+
+    result = run_benchmarks(args)
+    with open(args.out, "w") as f:
+        json.dump(result, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"[bench_perf] wrote {args.out}")
+
+    if args.check:
+        return check_regression(result, args.baseline)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

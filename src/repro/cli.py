@@ -33,7 +33,12 @@ def _cmd_list(args) -> int:
 
 def _cmd_experiment(args) -> int:
     exp = get_experiment(args.id)
-    ckpt = dict(checkpoint_dir=args.checkpoint_dir, resume=args.resume)
+    ckpt = dict(
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        jobs=args.jobs,
+        result_cache=not args.no_cache,
+    )
     kwargs = {}
     if args.full:
         kwargs["full"] = True
@@ -128,6 +133,15 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument(
         "--resume", action="store_true",
         help="resume from the newest valid snapshot in --checkpoint-dir",
+    )
+    sp.add_argument(
+        "--jobs", type=int, default=1,
+        help="fan independent runs over N worker processes (0 = all CPUs); "
+        "results are bitwise identical to --jobs 1",
+    )
+    sp.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the content-addressed run-result cache under REPRO_CACHE",
     )
     sp.set_defaults(fn=_cmd_experiment)
 

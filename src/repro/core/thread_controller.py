@@ -24,6 +24,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..cpu.topology import SCALAR_BATCH_CUTOFF as _SCALAR_TICK_CUTOFF
 from ..server.server import Server
 from ..sim.engine import Engine, PeriodicTask
 from ..sim.events import PRIORITY_CONTROL
@@ -81,6 +82,14 @@ class ThreadController:
         self._fmin = self.table.fmin
         self._fspan = self.table.fmax - self.table.fmin
         self._turbo = self.table.turbo
+        # Reused per-tick buffers: the 1 ms tick is the simulation's hot
+        # path and must not allocate.  One slot per worker core.
+        self.cpu = server.cpu
+        nw = server.num_workers
+        self._scores_buf = np.empty(nw)
+        self._raw_buf = np.empty(nw)
+        self._idle_mask = np.empty(nw, dtype=bool)
+        self._turbo_mask = np.empty(nw, dtype=bool)
 
     # ----------------------------------------------------------------- control
 
@@ -124,12 +133,21 @@ class ThreadController:
     # -------------------------------------------------------------------- tick
 
     def scores(self, now: float) -> np.ndarray:
-        """Algorithm 1 lines 4-5 for every worker core (vectorised)."""
+        """Algorithm 1 lines 4-5 for every worker core (vectorised).
+
+        Single numpy pass over the server's begin-times buffer (NaN marks
+        an idle worker, whose consumed time is 0).  Returns a buffer that
+        is *reused on every call* — copy to retain across ticks.
+        """
         begins = self.server.begin_times()
-        consumed = np.array(
-            [0.0 if b is None else (now - b) / self.sla for b in begins]
-        )
-        return consumed * self.scaling_coef + self.base_freq
+        buf = self._scores_buf
+        np.isnan(begins, out=self._idle_mask)
+        np.subtract(now, begins, out=buf)
+        buf /= self.sla
+        buf *= self.scaling_coef
+        buf += self.base_freq
+        np.copyto(buf, self.base_freq, where=self._idle_mask)
+        return buf
 
     def frequency_for_score(self, score: float) -> float:
         """Algorithm 1 lines 6-10 for one score value."""
@@ -138,24 +156,43 @@ class ThreadController:
         return self.table.quantize(self._fmin + self._fspan * score)
 
     def tick(self) -> None:
-        """One controller pass over all worker cores."""
+        """One controller pass over all worker cores (single numpy pass).
+
+        Scores, the score->frequency interpolation, the turbo override and
+        the DVFS quantisation all happen vector-wise in reused buffers;
+        only cores whose quantised level actually changes get a DVFS write
+        (via :meth:`Cpu.set_frequencies`).
+        """
         now = self.engine.now
+        nw = self.server.num_workers
+        if nw <= _SCALAR_TICK_CUTOFF and not self.record_trace:
+            # Scalar fast path: for the small worker counts the paper's
+            # sockets have, python float arithmetic beats numpy's per-ufunc
+            # dispatch overhead.  Bit-identical to the vector path below
+            # (same operation order per element; tests assert it).
+            self.tick_count += 1
+            base, coef, sla = self.base_freq, self.scaling_coef, self.sla
+            fmin, fspan, turbo = self._fmin, self._fspan, self._turbo
+            raw = []
+            for b in self.server.begin_times().tolist():
+                s = base if b != b else (now - b) / sla * coef + base
+                raw.append(turbo if s >= 1.0 else fmin + fspan * s)
+            self.cpu.set_frequencies(raw, count=nw)
+            return
         sc = self.scores(now)
         self.tick_count += 1
-        workers = self.server.workers
-        applied = np.empty(len(workers))
-        for i, w in enumerate(workers):
-            s = sc[i]
-            if s >= 1.0:
-                applied[i] = w.core.set_frequency(self._turbo)
-            else:
-                applied[i] = w.core.set_frequency(self._fmin + self._fspan * s)
+        raw = self._raw_buf
+        np.greater_equal(sc, 1.0, out=self._turbo_mask)
+        np.multiply(sc, self._fspan, out=raw)
+        raw += self._fmin
+        np.copyto(raw, self._turbo, where=self._turbo_mask)
+        applied = self.cpu.set_frequencies(raw, count=nw)
         if self.record_trace:
             self.trace.append(
                 FrequencyTracePoint(
                     time=now,
-                    frequencies=applied,
-                    scores=sc,
+                    frequencies=np.array(applied),
+                    scores=sc.copy(),
                     base_freq=self.base_freq,
                     scaling_coef=self.scaling_coef,
                 )

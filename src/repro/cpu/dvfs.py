@@ -9,6 +9,7 @@ the ACPI P-state table.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -62,6 +63,14 @@ class FrequencyTable:
             lv.append(self.fmax)
         lv.append(self.turbo)
         object.__setattr__(self, "levels", tuple(lv))
+        # Cached ndarray of the levels for vectorised quantisation (the
+        # 1 ms controller tick gathers from it; rebuilding it per call
+        # dominated quantize_array's cost).
+        object.__setattr__(self, "levels_array", np.array(lv))
+        # When the second-highest level is exactly fmax (true for any sane
+        # table), clipping the ceil index already maps f > fmax to fmax and
+        # quantize_into can skip a masked overwrite.
+        object.__setattr__(self, "_fmax_is_level", lv[-2] == self.fmax)
 
     # ------------------------------------------------------------------ props
 
@@ -91,20 +100,40 @@ class FrequencyTable:
             return self.turbo
         if freq > self.fmax:
             return self.fmax
-        # ceil to the next step boundary above fmin
-        idx = int(np.ceil((freq - self.fmin) / self.step - 1e-9))
+        # ceil to the next step boundary above fmin (math.ceil: identical
+        # result to np.ceil for finite floats, ~3x cheaper per call — this
+        # runs on the 1 ms hot path)
+        idx = math.ceil((freq - self.fmin) / self.step - 1e-9)
         idx = min(idx, len(self.levels) - 2)
         return self.levels[idx]
 
     def quantize_array(self, freqs: np.ndarray) -> np.ndarray:
         """Vectorised :meth:`quantize` over an array of GHz values."""
         f = np.asarray(freqs, dtype=float)
-        idx = np.ceil((f - self.fmin) / self.step - 1e-9).astype(int)
-        idx = np.clip(idx, 0, len(self.levels) - 2)
-        out = np.asarray(self.levels)[idx]
-        out = np.where(f > self.fmax, self.fmax, out)
-        out = np.where(f >= self.turbo, self.turbo, out)
+        out = np.empty_like(f)
+        self.quantize_into(f, out)
         return out
+
+    def quantize_into(self, freqs: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Allocation-light :meth:`quantize_array` writing into ``out``.
+
+        Element-for-element identical to the scalar :meth:`quantize` (same
+        IEEE operation order), which the hot-path tests assert; ``out`` may
+        be a reused buffer and must not alias ``freqs``.
+        """
+        t = out
+        np.subtract(freqs, self.fmin, t)
+        np.divide(t, self.step, t)
+        np.subtract(t, 1e-9, t)
+        np.ceil(t, t)
+        # maximum/minimum with out= beat np.clip(out=) by ~2x per call.
+        np.maximum(t, 0.0, out=t)
+        np.minimum(t, len(self.levels) - 2, out=t)
+        self.levels_array.take(t.astype(np.intp), 0, t)
+        if not self._fmax_is_level:  # pragma: no cover - degenerate tables
+            np.copyto(t, self.fmax, where=freqs > self.fmax)
+        np.copyto(t, self.turbo, where=freqs >= self.turbo)
+        return t
 
     def from_score(self, score: float) -> float:
         """Paper Algorithm 1 line 9: ``fmin + (fmax - fmin) * score``.

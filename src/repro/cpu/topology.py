@@ -7,7 +7,7 @@ list of Cpus (see :func:`dual_socket`).
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -17,6 +17,12 @@ from .dvfs import DEFAULT_TABLE, FrequencyTable
 from .power import DEFAULT_POWER_MODEL, PowerModel
 
 __all__ = ["Cpu", "dual_socket"]
+
+#: Below this core count the batched DVFS path runs a tuned scalar loop:
+#: numpy's per-ufunc dispatch overhead (~0.5 us/call) beats its throughput
+#: win for small vectors, and most simulated sockets have 4-20 cores.
+#: Both paths are bit-for-bit identical (tests assert it).
+SCALAR_BATCH_CUTOFF = 16
 
 
 class Cpu:
@@ -51,6 +57,15 @@ class Cpu:
             Core(engine, i, table, power_model) for i in range(num_cores)
         ]
         self._created_at = engine.now
+        # Listener-synced mirror of per-core frequencies plus scratch
+        # buffers for the batched (vector-quantised) set_frequencies path.
+        self._freqs = np.full(num_cores, table.fmax)
+        self._apply_buf = np.empty(num_cores)
+        for core in self.cores:
+            core.add_frequency_listener(self._note_freq_change)
+
+    def _note_freq_change(self, core: Core, old: float, new: float) -> None:
+        self._freqs[core.core_id] = new
 
     # ------------------------------------------------------------------ sizes
 
@@ -74,20 +89,73 @@ class Cpu:
         for core in self.cores:
             core.set_frequency(freq)
 
-    def set_frequencies(self, freqs: Sequence[float]) -> None:
-        """Per-core frequency assignment; ``len(freqs)`` must match."""
-        if len(freqs) != len(self.cores):
+    def set_frequencies(
+        self, freqs: Sequence[float], count: Optional[int] = None
+    ) -> np.ndarray:
+        """Batched per-core frequency assignment, quantised vector-wise.
+
+        With ``count=None`` (historic API) ``len(freqs)`` must equal the
+        core count; with ``count=k`` only ``cores[:k]`` are driven from
+        ``freqs[:k]`` (the thread controller scales worker cores only).
+
+        Only cores whose quantised level actually changes are touched, so a
+        1 ms tick that moves two of twenty cores costs two DVFS writes, not
+        twenty no-op calls.  Quantisation runs as one numpy pass above
+        :data:`SCALAR_BATCH_CUTOFF` cores and as a tuned scalar loop below
+        it (identical results; numpy per-call overhead loses on short
+        vectors).  Returns the applied (quantised) frequencies for
+        ``cores[:k]`` in a buffer that is *reused across calls* — copy to
+        retain.
+
+        When fault injection has wrapped a core's ``set_frequency`` (an
+        instance-level override), the batched fast path would change how
+        many faulted writes the injector sees; in that case every core gets
+        its historic one-call-per-core write with the raw frequency.
+        """
+        cores = self.cores
+        n = len(cores) if count is None else int(count)
+        if count is None:
+            if len(freqs) != len(cores):
+                raise ValueError(
+                    f"expected {len(cores)} frequencies, got {len(freqs)}"
+                )
+        elif not 0 <= n <= len(cores) or len(freqs) < n:
             raise ValueError(
-                f"expected {len(self.cores)} frequencies, got {len(freqs)}"
+                f"count must be in 0..{len(cores)} with len(freqs) >= count"
             )
-        for core, f in zip(self.cores, freqs):
-            core.set_frequency(f)
+        applied = self._apply_buf[:n]
+        if n <= SCALAR_BATCH_CUTOFF:
+            vals = freqs.tolist() if isinstance(freqs, np.ndarray) else freqs
+            quantize = self.table.quantize
+            for i in range(n):
+                c = cores[i]
+                if "set_frequency" in c.__dict__:
+                    # Fault injection wrapped this core's set_frequency: keep
+                    # the historic one-raw-write-per-call so the injector sees
+                    # the same call count and RNG draws.
+                    applied[i] = c.set_frequency(float(vals[i]))
+                    continue
+                q = quantize(vals[i])
+                applied[i] = q
+                if q != c._freq:
+                    c.set_frequency(q, quantize=False)
+            return applied
+        if any("set_frequency" in c.__dict__ for c in cores[:n]):
+            # Preserve per-call fault-injection semantics (RNG draws, counts).
+            for i in range(n):
+                applied[i] = cores[i].set_frequency(float(freqs[i]))
+            return applied
+        f = np.asarray(freqs, dtype=float)
+        self.table.quantize_into(f[:n], applied)
+        for i in np.nonzero(applied != self._freqs[:n])[0]:
+            cores[i].set_frequency(float(applied[i]), quantize=False)
+        return applied
 
     # ------------------------------------------------------------------ meters
 
     def frequencies(self) -> np.ndarray:
-        """Current per-core frequencies (GHz)."""
-        return np.array([c.frequency for c in self.cores])
+        """Current per-core frequencies (GHz), as a fresh copy."""
+        return self._freqs.copy()
 
     def busy_mask(self) -> np.ndarray:
         """Boolean per-core busy flags."""

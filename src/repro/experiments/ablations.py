@@ -14,6 +14,7 @@
 from __future__ import annotations
 
 import copy
+import os
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
@@ -255,52 +256,90 @@ def run_hierarchy_ablation(
     return rows
 
 
+def _reward_weight_cell(item: tuple) -> dict:
+    """One (alpha, beta) sweep cell: train a fresh agent, evaluate frozen.
+
+    Module-level so the process pool can pickle it; everything the cell
+    needs travels in the item tuple.
+    """
+    app_name, alpha, beta, trace, episodes, num_cores, seed = item
+    app = get_app(app_name)
+    agent = DeepPowerAgent(
+        np.random.default_rng(seed),
+        default_ddpg_config(
+            noise_sigma=0.8, noise_decay=0.9997, noise_mu=0.1,
+            noise_min_sigma=0.12, gamma=0.95,
+        ),
+    )
+    cfg = DeepPowerConfig(
+        updates_per_step=4,
+        reward=RewardConfig(alpha=alpha, beta=beta, gamma_q=0.5),
+    )
+    train_deeppower(
+        app, trace, episodes=episodes,
+        num_cores=num_cores, seed=seed, agent=agent, config=cfg,
+    )
+    m = evaluate_deeppower(
+        agent, app, trace, num_cores=num_cores, seed=60_001, config=cfg,
+    ).metrics
+    return {
+        "alpha": alpha,
+        "beta": beta,
+        "power": m.avg_power_watts,
+        "p99_over_sla": m.tail_latency / app.sla,
+        "timeout_rate": m.timeout_rate,
+    }
+
+
 def run_reward_weight_sweep(
     app_name: str = "xapian",
     alphas: Sequence[float] = (1.0, 2.0, 4.0),
     betas: Sequence[float] = (6.0, 12.0, 24.0),
     full: Optional[bool] = None,
     seed: int = 7,
+    jobs: int = 1,
 ) -> List[dict]:
-    """Train small agents under different (alpha, beta) reward weights."""
+    """Train small agents under different (alpha, beta) reward weights.
+
+    Every cell trains from scratch with its own RNGs, so fanning the sweep
+    out over ``jobs`` processes reproduces the serial results exactly.
+    """
+    from ..parallel import ParallelMap
+
     profile = active_profile(full)
     app = get_app(app_name)
     nw = workers_for(app_name, profile.num_cores)
     cal = calibrate_to_sla(
         app, evaluation_trace(profile), profile.num_cores, num_workers=nw
     )
-    out = []
-    for alpha in alphas:
-        for beta in betas:
-            agent = DeepPowerAgent(
-                np.random.default_rng(seed),
-                default_ddpg_config(
-                    noise_sigma=0.8, noise_decay=0.9997, noise_mu=0.1,
-                    noise_min_sigma=0.12, gamma=0.95,
-                ),
-            )
-            cfg = DeepPowerConfig(
-                updates_per_step=4,
-                reward=RewardConfig(alpha=alpha, beta=beta, gamma_q=0.5),
-            )
-            train_deeppower(
-                app, cal.trace, episodes=profile.train_episodes,
-                num_cores=profile.num_cores, seed=seed, agent=agent, config=cfg,
-            )
-            m = evaluate_deeppower(
-                agent, app, cal.trace, num_cores=profile.num_cores,
-                seed=60_001, config=cfg,
-            ).metrics
-            out.append(
-                {
-                    "alpha": alpha,
-                    "beta": beta,
-                    "power": m.avg_power_watts,
-                    "p99_over_sla": m.tail_latency / app.sla,
-                    "timeout_rate": m.timeout_rate,
-                }
-            )
-    return out
+    items = [
+        (app_name, alpha, beta, cal.trace, profile.train_episodes,
+         profile.num_cores, seed)
+        for alpha in alphas
+        for beta in betas
+    ]
+    return ParallelMap(jobs=jobs).map_values(_reward_weight_cell, items)
+
+
+def _short_time_cell(item: tuple) -> dict:
+    """One multiplier of the ShortTime sweep, from a saved frozen agent."""
+    app_name, agent_path, agent_seed, mult, trace, num_cores = item
+    from .fig7_main import tuned_agent_setup
+
+    app = get_app(app_name)
+    agent, dp_cfg = tuned_agent_setup(agent_seed, app=app)
+    agent.load(agent_path)
+    cfg = copy.copy(dp_cfg)
+    cfg.short_time = app.short_time * mult
+    m = evaluate_deeppower(
+        agent, app, trace, num_cores=num_cores, seed=60_001, config=cfg
+    ).metrics
+    return {
+        "short_time_ms": cfg.short_time * 1e3,
+        "power": m.avg_power_watts,
+        "p99_over_sla": m.tail_latency / app.sla,
+        "timeout_rate": m.timeout_rate,
+    }
 
 
 def run_short_time_sweep(
@@ -308,8 +347,12 @@ def run_short_time_sweep(
     multipliers: Sequence[float] = (0.5, 1.0, 4.0, 16.0),
     full: Optional[bool] = None,
     seed: int = 7,
+    jobs: int = 1,
 ) -> List[dict]:
     """Controller-tick granularity sweep with a frozen trained agent."""
+    import tempfile
+
+    from ..parallel import ParallelMap
     from .fig7_main import trained_agent
 
     profile = active_profile(full)
@@ -319,22 +362,15 @@ def run_short_time_sweep(
         app, evaluation_trace(profile), profile.num_cores, num_workers=nw
     )
     agent, dp_cfg = trained_agent(app_name, cal.trace, profile, nw, seed=seed)
-    out = []
-    for mult in multipliers:
-        cfg = copy.copy(dp_cfg)
-        cfg.short_time = app.short_time * mult
-        m = evaluate_deeppower(
-            agent, app, cal.trace, num_cores=profile.num_cores, seed=60_001, config=cfg
-        ).metrics
-        out.append(
-            {
-                "short_time_ms": cfg.short_time * 1e3,
-                "power": m.avg_power_watts,
-                "p99_over_sla": m.tail_latency / app.sla,
-                "timeout_rate": m.timeout_rate,
-            }
-        )
-    return out
+    # The frozen agent travels to the workers as an .npz artifact.
+    with tempfile.TemporaryDirectory(prefix="shorttime-") as tmpdir:
+        agent_path = os.path.join(tmpdir, f"{app_name}.npz")
+        agent.save(agent_path)
+        items = [
+            (app_name, agent_path, seed, mult, cal.trace, profile.num_cores)
+            for mult in multipliers
+        ]
+        return ParallelMap(jobs=jobs).map_values(_short_time_cell, items)
 
 
 def render_ablation_rows(rows: List[AblationRow]) -> str:

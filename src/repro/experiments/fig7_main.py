@@ -23,26 +23,24 @@ keyed by app + profile, so re-running the bench reuses them.
 from __future__ import annotations
 
 import os
+import tempfile
 import warnings
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..checkpoint import CheckpointManager
+    from ..parallel import RunResultCache
 
 from ..analysis.reporting import format_table
-from ..baselines.gemini import GeminiPolicy
-from ..baselines.retail import RetailPolicy
-from ..baselines.simple import MaxFrequencyPolicy
 from ..core.agent import DeepPowerAgent, default_ddpg_config
 from ..core.reward import RewardConfig
 from ..core.runtime import DeepPowerConfig
-from ..core.training import evaluate_deeppower, train_deeppower
+from ..core.training import train_deeppower
 from ..server.metrics import RunMetrics
 from ..sim.rng import RngRegistry
 from ..workload.apps import get_app
 from .calibration import calibrate_to_sla
-from .runner import run_policy
 from .scenarios import ExperimentProfile, active_profile, evaluation_trace, workers_for
 
 __all__ = [
@@ -185,13 +183,23 @@ def run_fig7(
     use_cache: bool = True,
     verbose: bool = False,
     checkpoint: Optional["CheckpointManager"] = None,
+    jobs: int = 1,
+    result_cache: Optional["RunResultCache"] = None,
 ) -> Dict[str, Fig7AppResult]:
-    """The full Fig 7 pipeline for each app.
+    """The full Fig 7 pipeline, staged: calibrate/train per app, then fan
+    the whole (app x policy) evaluation grid out at once.
 
     With ``checkpoint`` set, each finished app's result is snapshotted, and
     a re-run resumes at the first app without a completed result — a killed
     multi-hour sweep repeats at most one app's work.
+
+    ``jobs`` fans the evaluation grid over forked worker processes (results
+    are bitwise identical to ``jobs=1``: every cell owns its engine and RNG
+    stack); ``result_cache`` short-circuits cells whose content-addressed
+    key — trace content, seed, trained-agent digest — is already stored.
     """
+    from ..parallel import RunSpec, run_grid
+
     profile = active_profile(full)
     apps = apps if apps is not None else ("xapian", "masstree", "moses", "sphinx", "img-dnn")
     results: Dict[str, Fig7AppResult] = {}
@@ -201,6 +209,13 @@ def run_fig7(
             results.update(
                 {k: v for k, v in record.state["results"].items() if k in apps}
             )
+
+    # Stage 1 (serial): calibrate the workload and train/load the agent for
+    # each app still missing a result.  Training dominates wall-clock and
+    # mutates the on-disk agent cache, so it stays in-process; the trained
+    # agent is handed to the evaluation grid as an .npz artifact.
+    staged = []
+    tmpdir: Optional[str] = None
     for name in apps:
         if name in results:
             continue
@@ -216,25 +231,39 @@ def run_fig7(
         agent, dp_cfg = trained_agent(
             name, trace, profile, nw, seed=seed, use_cache=use_cache, verbose=verbose
         )
+        if use_cache:
+            agent_path = _agent_cache_path(name, profile, seed)
+        else:
+            if tmpdir is None:
+                tmpdir = tempfile.mkdtemp(prefix="fig7-agents-")
+            agent_path = os.path.join(tmpdir, f"{name}.npz")
+            agent.save(agent_path)
+        staged.append((name, app, nw, cal, trace, agent_path))
 
+    # Stage 2: one flat grid of (app x policy) evaluation cells.
+    specs: List[RunSpec] = []
+    for name, app, nw, cal, trace, agent_path in staged:
+        for pol in FIG7_POLICIES:
+            specs.append(
+                RunSpec(
+                    app=name,
+                    policy=pol,
+                    trace=trace,
+                    num_cores=profile.num_cores,
+                    seed=EVAL_SEED,
+                    num_workers=nw,
+                    agent_path=agent_path if pol == "deeppower" else None,
+                    agent_seed=seed,
+                    label=f"fig7-{profile.name}",
+                )
+            )
+    outcomes = iter(run_grid(specs, jobs=jobs, cache=result_cache))
+
+    for name, app, nw, cal, trace, agent_path in staged:
+        runs: Dict[str, RunMetrics] = {
+            pol: next(outcomes).unwrap() for pol in FIG7_POLICIES
+        }
         app_res = Fig7AppResult(app=name, sla=app.sla, mean_load=cal.mean_load)
-        runs: Dict[str, RunMetrics] = {}
-        runs["baseline"] = run_policy(
-            lambda ctx: MaxFrequencyPolicy(ctx),
-            app, trace, profile.num_cores, seed=EVAL_SEED, num_workers=nw,
-        ).metrics
-        runs["retail"] = run_policy(
-            lambda ctx: RetailPolicy(ctx),
-            app, trace, profile.num_cores, seed=EVAL_SEED, num_workers=nw,
-        ).metrics
-        runs["gemini"] = run_policy(
-            lambda ctx: GeminiPolicy(ctx),
-            app, trace, profile.num_cores, seed=EVAL_SEED, num_workers=nw,
-        ).metrics
-        runs["deeppower"] = evaluate_deeppower(
-            agent, app, trace, num_cores=profile.num_cores, seed=EVAL_SEED, config=dp_cfg,
-        ).metrics
-
         base_power = runs["baseline"].avg_power_watts
         for pol, m in runs.items():
             app_res.outcomes[pol] = PolicyOutcome(

@@ -50,6 +50,8 @@ class Experiment:
         self,
         checkpoint_dir: Optional[str] = None,
         resume: bool = False,
+        jobs: int = 1,
+        result_cache=True,
         **kwargs,
     ) -> str:
         """Run and render to text.
@@ -61,7 +63,20 @@ class Experiment:
         accepts a ``checkpoint`` keyword (e.g. fig7) additionally get the
         manager passed through for finer-grained mid-run snapshots, so a
         killed run restarts from its last completed stage.
+
+        ``jobs`` and ``result_cache`` are forwarded only to run functions
+        that declare the corresponding parameter: ``jobs`` fans independent
+        runs over worker processes, and ``result_cache`` (default on;
+        ``False`` disables, or pass a :class:`~repro.parallel.RunResultCache`)
+        reuses content-addressed cached run results under ``REPRO_CACHE``.
         """
+        run_params = inspect.signature(self.run).parameters
+        if "jobs" in run_params:
+            kwargs.setdefault("jobs", jobs)
+        if "result_cache" in run_params:
+            from ..parallel import resolve_cache
+
+            kwargs.setdefault("result_cache", resolve_cache(result_cache))
         if checkpoint_dir is None:
             return self.render(self.run(**kwargs))
         from ..checkpoint import CheckpointManager

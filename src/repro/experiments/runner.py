@@ -170,11 +170,17 @@ def run_policy(
 
     grace = drain_grace if drain_grace is not None else 10.0 * app.sla
     deadline = duration + grace
-    step = max(app.sla, grace / 100.0)
-    t = duration
-    while ctx.server.drain_remaining() > 0 and t < deadline:
-        t = min(deadline, t + step)
-        ctx.engine.run_until(t)
+    # Event-stepped drain: advance one event at a time and stop the instant
+    # the server empties.  The old chunked loop kept replaying controller
+    # ticks for up to a whole chunk after the last completion (and idle
+    # chunks when nothing was in flight); ticks after the final completion
+    # cannot affect any recorded latency, and energy accounting closed at
+    # the trace boundary above, so breaking early is metrics-identical.
+    while ctx.server.drain_remaining() > 0:
+        nxt = ctx.engine.next_event_time()
+        if nxt is None or nxt > deadline:
+            break
+        ctx.engine.step()
 
     if driver is not None and hasattr(driver, "stop"):
         driver.stop()

@@ -14,13 +14,14 @@ mirroring the paper's 2.30 / 2.30 / 2.48 ms row.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..parallel import RunResultCache
 
 from ..analysis.reporting import format_table
-from ..baselines.simple import MaxFrequencyPolicy
 from ..workload.apps import get_app
 from ..workload.trace import constant_trace
-from .runner import run_policy
 from .scenarios import active_profile, workers_for
 
 __all__ = ["Table3Row", "run_table3", "render_table3", "TABLE3_LOADS"]
@@ -57,29 +58,48 @@ def run_table3(
     loads: Sequence[float] = TABLE3_LOADS,
     seed: int = 2023,
     full: Optional[bool] = None,
+    jobs: int = 1,
+    result_cache: Optional["RunResultCache"] = None,
 ) -> Dict[str, Table3Row]:
-    """Measure unmanaged p99 at each static load level."""
+    """Measure unmanaged p99 at each static load level.
+
+    The (app x load) grid fans out over ``jobs`` worker processes — each
+    cell is an independent simulation, so the results are bitwise identical
+    to the serial loop — and ``result_cache`` skips cells already stored.
+    """
+    from ..parallel import RunSpec, run_grid
+
     profile = active_profile(full)
     apps = apps if apps is not None else ("xapian", "masstree", "moses", "sphinx", "img-dnn")
-    out: Dict[str, Table3Row] = {}
+    specs: List[RunSpec] = []
     for name in apps:
         app = get_app(name)
         nw = workers_for(name, profile.num_cores)
+        for load in loads:
+            rps = rps_for_measured_load(app, load, nw)
+            specs.append(
+                RunSpec(
+                    app=name,
+                    policy="baseline",
+                    trace=constant_trace(rps, profile.table3_duration),
+                    num_cores=profile.num_cores,
+                    seed=seed,
+                    num_workers=nw,
+                    policy_kwargs=(("use_turbo", False),),
+                    label=f"table3-{profile.name}",
+                )
+            )
+    outcomes = iter(run_grid(specs, jobs=jobs, cache=result_cache))
+
+    out: Dict[str, Table3Row] = {}
+    for name in apps:
+        app = get_app(name)
         p99: Dict[float, float] = {}
         mean: Dict[float, float] = {}
         for load in loads:
-            rps = rps_for_measured_load(app, load, nw)
-            trace = constant_trace(rps, profile.table3_duration)
-            res = run_policy(
-                lambda ctx: MaxFrequencyPolicy(ctx, use_turbo=False),
-                app,
-                trace,
-                profile.num_cores,
-                seed=seed,
-                num_workers=nw,
-            )
-            p99[load] = res.metrics.tail_latency * 1e3
-            mean[load] = res.metrics.mean_latency * 1e3
+            m = next(outcomes).unwrap()
+            p99[load] = m.tail_latency * 1e3
+            mean[load] = m.mean_latency * 1e3
         out[name] = Table3Row(app=name, sla_ms=app.sla * 1e3, p99_ms=p99, mean_ms=mean)
     return out
 

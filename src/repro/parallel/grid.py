@@ -1,0 +1,319 @@
+"""Picklable run descriptions + the cached, fan-out grid executor.
+
+A :class:`RunSpec` captures *everything* that determines one
+``run_policy`` cell — app, policy, trace content, seed, core/worker
+counts, policy kwargs, and (for DeepPower) the trained-agent artifact —
+so the cell can execute in any process and its result can be addressed
+by content.  :func:`run_grid` executes a list of specs through a
+:class:`~repro.parallel.pool.ParallelMap` with an optional
+:class:`~repro.parallel.cache.RunResultCache` in front.
+
+Because every cell builds its own engine/RNG stack from the spec alone,
+``run_grid(specs, jobs=8)`` is bitwise identical to
+``run_grid(specs, jobs=1)`` — the determinism test in
+``tests/test_parallel_grid.py`` asserts exactly that.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..server.metrics import RunMetrics
+from ..workload.apps import get_app
+from ..workload.trace import WorkloadTrace
+from .cache import RunResultCache, file_digest
+from .pool import ItemOutcome, ParallelMap
+from .pool import default_warmup as _default_warmup
+
+__all__ = [
+    "RunSpec",
+    "GridOutcome",
+    "execute_run_spec",
+    "run_grid",
+    "EXTRAS_COLLECTORS",
+    "GRID_POLICIES",
+]
+
+
+# --------------------------------------------------------------------- extras
+
+def _extras_worker_completed(ctx, driver) -> np.ndarray:
+    """Per-worker completed-request counts (a fine-grained determinism probe)."""
+    return np.array([w.completed_count for w in ctx.server.workers])
+
+
+def _extras_final_frequencies(ctx, driver) -> np.ndarray:
+    """Per-core frequencies at run end."""
+    return ctx.cpu.frequencies()
+
+
+def _extras_event_count(ctx, driver) -> int:
+    """Total simulation events processed (whole-trajectory fingerprint)."""
+    return ctx.engine.processed_events
+
+
+#: Name -> ``fn(ctx, driver)`` returning a *picklable* artifact.  Specs name
+#: the collectors they want; everything here must be cheap and deterministic.
+EXTRAS_COLLECTORS: Dict[str, Callable] = {
+    "worker_completed": _extras_worker_completed,
+    "final_frequencies": _extras_final_frequencies,
+    "event_count": _extras_event_count,
+}
+
+
+# ------------------------------------------------------------------- policies
+
+def _factory_baseline(ctx, kwargs):
+    from ..baselines.simple import MaxFrequencyPolicy
+
+    return MaxFrequencyPolicy(ctx, **kwargs)
+
+
+def _factory_retail(ctx, kwargs):
+    from ..baselines.retail import RetailPolicy
+
+    return RetailPolicy(ctx, **kwargs)
+
+
+def _factory_gemini(ctx, kwargs):
+    from ..baselines.gemini import GeminiPolicy
+
+    return GeminiPolicy(ctx, **kwargs)
+
+
+GRID_POLICIES: Dict[str, Callable] = {
+    "baseline": _factory_baseline,
+    "retail": _factory_retail,
+    "gemini": _factory_gemini,
+}
+
+
+# ----------------------------------------------------------------------- spec
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One (app, policy, trace, seed) cell of an experiment grid.
+
+    Parameters
+    ----------
+    app:
+        App name from the catalog (``get_app``).
+    policy:
+        ``"baseline"`` / ``"retail"`` / ``"gemini"`` / ``"deeppower"``.
+    trace:
+        The exact workload trace to play (content enters the cache key).
+    num_cores, seed, num_workers:
+        Forwarded to ``run_policy``.
+    policy_kwargs:
+        Sorted ``(name, value)`` pairs for the policy constructor
+        (e.g. ``(("use_turbo", False),)`` for Table 3's no-turbo baseline).
+    agent_path, agent_seed:
+        DeepPower only: the trained-agent ``.npz`` to load and the seed its
+        config was tuned with.  The *file digest* enters the cache key, so
+        retraining invalidates dependent cached evaluations.
+    extras:
+        Names from :data:`EXTRAS_COLLECTORS` to evaluate on the finished run.
+    label:
+        Free-form tag folded into the cache key (profile name etc.).
+    """
+
+    app: str
+    policy: str
+    trace: WorkloadTrace
+    num_cores: int
+    seed: int
+    num_workers: Optional[int] = None
+    policy_kwargs: Tuple[Tuple[str, Any], ...] = ()
+    agent_path: Optional[str] = None
+    agent_seed: int = 7
+    extras: Tuple[str, ...] = ()
+    label: str = ""
+
+    def cache_payload(self) -> dict:
+        """Content entering the cache key (agent folded in by digest)."""
+        return {
+            "kind": "run-spec",
+            "app": self.app,
+            "policy": self.policy,
+            "trace_edges": self.trace.edges,
+            "trace_rates": self.trace.rates,
+            "num_cores": self.num_cores,
+            "seed": self.seed,
+            "num_workers": self.num_workers,
+            "policy_kwargs": list(self.policy_kwargs),
+            "agent_digest": file_digest(self.agent_path) if self.agent_path else None,
+            "agent_seed": self.agent_seed if self.agent_path else None,
+            "extras": list(self.extras),
+            "label": self.label,
+        }
+
+
+@dataclass
+class GridOutcome:
+    """Result of one grid cell (metrics + extras, or a captured error)."""
+
+    spec: RunSpec
+    metrics: Optional[RunMetrics] = None
+    extras: Dict[str, Any] = field(default_factory=dict)
+    error: Optional[str] = None
+    from_cache: bool = False
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def unwrap(self) -> RunMetrics:
+        if self.error is not None:
+            raise RuntimeError(
+                f"grid cell ({self.spec.app}, {self.spec.policy}, "
+                f"seed={self.spec.seed}) failed:\n{self.error}"
+            )
+        assert self.metrics is not None
+        return self.metrics
+
+
+# ------------------------------------------------------------------ execution
+
+def _make_extras_fn(names: Sequence[str]):
+    if not names:
+        return None
+    for name in names:
+        if name not in EXTRAS_COLLECTORS:
+            raise KeyError(
+                f"unknown extras collector {name!r}; "
+                f"available: {sorted(EXTRAS_COLLECTORS)}"
+            )
+
+    def extras_fn(ctx, driver):
+        return {name: EXTRAS_COLLECTORS[name](ctx, driver) for name in names}
+
+    return extras_fn
+
+
+def execute_run_spec(spec: RunSpec) -> Tuple[RunMetrics, Dict[str, Any]]:
+    """Run one grid cell from scratch (fresh engine + RNGs) and summarise.
+
+    This is the module-level worker function the process pool invokes; it
+    must stay picklable and must derive *everything* from the spec.
+    """
+    from ..experiments.runner import run_policy
+
+    app = get_app(spec.app)
+    kwargs = dict(spec.policy_kwargs)
+    extras_fn = _make_extras_fn(spec.extras)
+
+    if spec.policy == "deeppower":
+        if spec.agent_path is None:
+            raise ValueError("deeppower spec needs agent_path")
+        from ..core.training import evaluate_deeppower
+        from ..experiments.fig7_main import tuned_agent_setup
+
+        agent, cfg = tuned_agent_setup(spec.agent_seed, app=app)
+        agent.load(spec.agent_path)
+        res = evaluate_deeppower(
+            agent,
+            app,
+            spec.trace,
+            num_cores=spec.num_cores,
+            seed=spec.seed,
+            config=cfg,
+        )
+        # evaluate_deeppower's extras hold live runtime objects (engine,
+        # controller); re-derive only the picklable collectors requested.
+        extras: Dict[str, Any] = {}
+        if extras_fn is not None:
+            runtime = res.extras["runtime"]
+            ctx = _RuntimeCtx(runtime)
+            extras = extras_fn(ctx, runtime)
+        return res.metrics, extras
+
+    try:
+        factory = GRID_POLICIES[spec.policy]
+    except KeyError:
+        raise KeyError(
+            f"unknown grid policy {spec.policy!r}; "
+            f"available: {sorted(GRID_POLICIES) + ['deeppower']}"
+        ) from None
+
+    def driver_factory(ctx):
+        return factory(ctx, kwargs)
+
+    res = run_policy(
+        driver_factory,
+        app,
+        spec.trace,
+        spec.num_cores,
+        seed=spec.seed,
+        num_workers=spec.num_workers,
+        extras_fn=extras_fn,
+    )
+    return res.metrics, res.extras
+
+
+class _RuntimeCtx:
+    """Adapter exposing the ``ctx``-shaped attributes extras collectors use."""
+
+    def __init__(self, runtime) -> None:
+        self.server = runtime.server
+        self.cpu = runtime.server.cpu
+        self.engine = runtime.engine
+
+
+def _cell_worker(spec: RunSpec) -> Tuple[RunMetrics, Dict[str, Any]]:
+    return execute_run_spec(spec)
+
+
+def run_grid(
+    specs: Sequence[RunSpec],
+    jobs: int = 1,
+    cache: Optional[RunResultCache] = None,
+    warmup: Optional[Callable[[], None]] = _default_warmup,
+) -> List[GridOutcome]:
+    """Execute a grid of specs, in parallel and through the result cache.
+
+    Cache hits never enter the pool; misses are executed (fanned out over
+    ``jobs`` forked workers) and written back.  Failed cells produce
+    :class:`GridOutcome` objects carrying the worker traceback — sibling
+    results are unaffected and *not* cached-poisoned (errors are never
+    stored).
+
+    Outcomes are returned in spec order regardless of completion order.
+    """
+    specs = list(specs)
+    outcomes: List[Optional[GridOutcome]] = [None] * len(specs)
+    pending: List[Tuple[int, RunSpec, Optional[str]]] = []
+
+    for i, spec in enumerate(specs):
+        key = cache.key(spec.cache_payload()) if cache is not None else None
+        if cache is not None and key is not None:
+            hit = cache.get(key)
+            if hit is not None:
+                metrics, extras = hit
+                outcomes[i] = GridOutcome(
+                    spec=spec, metrics=metrics, extras=extras, from_cache=True
+                )
+                continue
+        pending.append((i, spec, key))
+
+    if pending:
+        pool = ParallelMap(jobs=jobs, warmup=warmup)
+        t0 = time.perf_counter()
+        results: List[ItemOutcome] = pool.map(_cell_worker, [s for _, s, _ in pending])
+        elapsed = time.perf_counter() - t0
+        for (i, spec, key), item in zip(pending, results):
+            if item.ok:
+                metrics, extras = item.value
+                outcomes[i] = GridOutcome(
+                    spec=spec, metrics=metrics, extras=extras, elapsed=elapsed
+                )
+                if cache is not None and key is not None:
+                    cache.put(key, (metrics, extras))
+            else:
+                outcomes[i] = GridOutcome(spec=spec, error=item.error)
+
+    return [o for o in outcomes if o is not None]

@@ -71,6 +71,9 @@ class ReplayBuffer:
         self._size = 0
         self._pos = 0
         self.total_pushed = 0
+        # Per-batch-size output buffers reused by sample(); keyed by batch
+        # size (in practice a single entry — the agent's configured batch).
+        self._batch_bufs: Dict[int, Tuple[np.ndarray, ...]] = {}
 
     def __len__(self) -> int:
         return self._size
@@ -106,19 +109,34 @@ class ReplayBuffer:
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Uniformly sample ``batch_size`` transitions (with replacement).
 
-        Returns ``(states, actions, rewards, next_states, dones)`` as
-        copies — training code may mutate them freely.
+        Returns ``(states, actions, rewards, next_states, dones)`` gathered
+        into preallocated per-batch-size buffers that are *reused by the
+        next ``sample`` call with the same size* — training code may mutate
+        them freely within one update step, but must copy to retain them
+        across steps.  The RNG draw is identical to the historic
+        fancy-indexing implementation, so trained weights are bit-for-bit
+        unchanged.
         """
         if self._size == 0:
             raise ValueError("cannot sample from an empty buffer")
         idx = rng.integers(0, self._size, size=batch_size)
-        return (
-            self._states[idx].copy(),
-            self._actions[idx].copy(),
-            self._rewards[idx].copy(),
-            self._next_states[idx].copy(),
-            self._dones[idx].copy(),
-        )
+        bufs = self._batch_bufs.get(batch_size)
+        if bufs is None:
+            bufs = (
+                np.empty((batch_size, self.state_dim)),
+                np.empty((batch_size, self.action_dim)),
+                np.empty(batch_size),
+                np.empty((batch_size, self.state_dim)),
+                np.empty(batch_size, dtype=bool),
+            )
+            self._batch_bufs[batch_size] = bufs
+        states, actions, rewards, next_states, dones = bufs
+        np.take(self._states, idx, axis=0, out=states)
+        np.take(self._actions, idx, axis=0, out=actions)
+        np.take(self._rewards, idx, out=rewards)
+        np.take(self._next_states, idx, axis=0, out=next_states)
+        np.take(self._dones, idx, out=dones)
+        return bufs
 
     def clear(self) -> None:
         self._size = 0

@@ -128,6 +128,10 @@ class Server:
         # LIFO idle stack, seeded in reverse so the first dispatch lands on
         # worker 0 (O(1) pop from the end, deterministic placement).
         self._idle: List[Worker] = list(reversed(self.workers))
+        # Per-worker arrival time of the in-flight request, NaN when idle.
+        # Maintained incrementally at dispatch/completion so the 1 ms
+        # controller tick reads it without building a Python list.
+        self._begin_times = np.full(n, np.nan)
         self.metrics = LatencyRecorder(app.sla, keep_requests=keep_requests)
         self.telemetry = TelemetryChannel(self)
         self._policy: PolicyHooks = _NullPolicy()
@@ -168,13 +172,17 @@ class Server:
         """Current request per worker (None for idle workers)."""
         return [w.current for w in self.workers]
 
-    def begin_times(self) -> List[Optional[float]]:
+    def begin_times(self) -> np.ndarray:
         """Per-worker *arrival* time of the in-flight request (Algorithm 1's
-        ``BeginTimes`` input: "Request arrive time of each thread"); None for
+        ``BeginTimes`` input: "Request arrive time of each thread"); NaN for
         idle workers.  Using arrival rather than processing-start time makes
         queueing delay count toward the controller score, so requests that
-        waited long start executing at an already-elevated frequency."""
-        return [w.current.arrival_time if w.current else None for w in self.workers]
+        waited long start executing at an already-elevated frequency.
+
+        Returns the server's *reused* buffer (maintained incrementally at
+        dispatch/completion — the 1 ms hot path allocates nothing).  Callers
+        must treat it as read-only and copy if they need to retain it."""
+        return self._begin_times
 
     # ---------------------------------------------------------------- internal
 
@@ -186,11 +194,13 @@ class Server:
             self.app.contention, rho, req.work, self._mean_work
         )
         worker.start(req, effective)
+        self._begin_times[worker.core_id] = req.arrival_time
         self._policy.on_start(req, worker.core)
 
     def _worker_done(self, worker: Worker, req: Request) -> None:
         self.metrics.on_complete(req)
         self.telemetry.note_completion(req.timed_out)
+        self._begin_times[worker.core_id] = np.nan
         self._policy.on_complete(req, worker.core)
         if self.queue:
             self._dispatch(worker, self.queue.pop())

@@ -54,7 +54,10 @@ class Engine:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
-        self._heap: list[EventHandle] = []
+        # Heap entries are (time, priority, seq, handle): seq is unique, so
+        # heap sifting resolves every comparison on the numeric prefix in C
+        # and never falls back to comparing EventHandle objects in python.
+        self._heap: list[tuple[float, int, int, EventHandle]] = []
         self._cancelled = 0
         self._processed = 0
         self._running = False
@@ -76,6 +79,15 @@ class Engine:
         """Number of live events waiting in the heap."""
         return len(self._heap) - self._cancelled
 
+    def next_event_time(self) -> float | None:
+        """Time of the next live event, or ``None`` when none are pending.
+
+        Lets callers advance event-by-event (e.g. the post-trace drain loop)
+        without committing to a fixed-size time chunk.
+        """
+        ev = self._peek_live()
+        return None if ev is None else ev.time
+
     # -------------------------------------------------------------- scheduling
 
     def schedule_at(
@@ -90,8 +102,8 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule at {time!r}: clock already at {self._now!r}"
             )
-        ev = EventHandle(time=float(time), priority=priority, callback=callback, args=args)
-        heapq.heappush(self._heap, ev)
+        ev = EventHandle(float(time), priority, callback, args)
+        heapq.heappush(self._heap, (ev.time, priority, ev.seq, ev))
         return ev
 
     def schedule_after(
@@ -149,13 +161,25 @@ class Engine:
             raise SimulationError(f"run_until({time!r}) is in the past (now={self._now!r})")
         self._guard_reentry()
         try:
-            while True:
-                ev = self._peek_live()
-                if ev is None:
+            # Inline peek + pop (this loop is the simulation's hot path):
+            # skip cancelled entries, stop at the horizon, fire the rest.
+            heap = self._heap
+            heappop = heapq.heappop
+            while heap:
+                ev_time, _, _, ev = heap[0]
+                if ev.cancelled:
+                    heappop(heap)
+                    self._cancelled -= 1
+                    continue
+                if ev_time > time or (not inclusive and ev_time == time):
                     break
-                if ev.time > time or (not inclusive and ev.time == time):
-                    break
-                self.step()
+                heappop(heap)
+                self._now = ev_time
+                cb, cb_args = ev.callback, ev.args
+                ev.cancel()  # release references; it has fired
+                self._processed += 1
+                assert cb is not None
+                cb(*cb_args)
         finally:
             self._running = False
         self._now = float(time)
@@ -182,16 +206,16 @@ class Engine:
 
     def _pop_live(self) -> EventHandle | None:
         while self._heap:
-            ev = heapq.heappop(self._heap)
-            if ev.active:
+            ev = heapq.heappop(self._heap)[3]
+            if not ev.cancelled:
                 return ev
             self._cancelled -= 1
         return None
 
     def _peek_live(self) -> EventHandle | None:
         while self._heap:
-            ev = self._heap[0]
-            if ev.active:
+            ev = self._heap[0][3]
+            if not ev.cancelled:
                 return ev
             heapq.heappop(self._heap)
             self._cancelled -= 1
@@ -200,7 +224,7 @@ class Engine:
     def _maybe_compact(self) -> None:
         n = len(self._heap)
         if n >= self._COMPACT_MIN and self._cancelled > n * self._COMPACT_RATIO:
-            self._heap = [ev for ev in self._heap if ev.active]
+            self._heap = [entry for entry in self._heap if not entry[3].cancelled]
             heapq.heapify(self._heap)
             self._cancelled = 0
 

@@ -10,7 +10,6 @@ in-flight completion event — potentially once per DVFS transition.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable
 
 __all__ = ["EventHandle", "PRIORITY_DEFAULT", "PRIORITY_CONTROL", "PRIORITY_LATE"]
@@ -26,7 +25,6 @@ PRIORITY_LATE = 100
 _seq = itertools.count()
 
 
-@dataclass(order=True)
 class EventHandle:
     """A scheduled callback, orderable by ``(time, priority, seq)``.
 
@@ -34,14 +32,39 @@ class EventHandle:
     events scheduled for the same instant and priority fire in the order
     they were scheduled (FIFO within a timestamp), which makes runs
     deterministic.
+
+    A plain ``__slots__`` class, not a dataclass: the engine creates one
+    per scheduled event on the simulation hot path, and the heap orders
+    ``(time, priority, seq)`` key tuples in C rather than calling back
+    into python-level comparisons (see :class:`repro.sim.engine.Engine`).
     """
 
-    time: float
-    priority: int
-    seq: int = field(default_factory=lambda: next(_seq))
-    callback: Callable[..., Any] | None = field(default=None, compare=False)
-    args: tuple = field(default=(), compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        callback: Callable[..., Any] | None = None,
+        args: tuple = (),
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = next(_seq)
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "active"
+        return f"EventHandle(time={self.time!r}, priority={self.priority}, {state})"
 
     def cancel(self) -> None:
         """Mark this event as cancelled; the engine will skip it."""

@@ -1,0 +1,170 @@
+"""Determinism + caching tests for the grid executor (repro.parallel.grid).
+
+The load-bearing guarantee of ISSUE 3: ``run_grid(specs, jobs=N)`` is
+*bitwise identical* to the serial run — same metrics floats, same extras
+arrays — because every cell rebuilds its world (engine, RNG registry,
+server) from the spec alone.
+"""
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.parallel import RunSpec, RunResultCache, run_grid
+from repro.parallel.grid import EXTRAS_COLLECTORS, execute_run_spec
+from repro.workload.trace import constant_trace
+
+EXTRAS = ("worker_completed", "final_frequencies", "event_count")
+
+_HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+def _specs(duration=1.5):
+    specs = []
+    for app in ("xapian", "moses"):
+        for policy in ("baseline", "gemini"):
+            specs.append(
+                RunSpec(
+                    app=app,
+                    policy=policy,
+                    trace=constant_trace(120.0, duration),
+                    num_cores=4,
+                    seed=11,
+                    extras=EXTRAS,
+                    label="grid-test",
+                )
+            )
+    return specs
+
+
+def _assert_outcomes_bitwise_equal(a_list, b_list):
+    assert len(a_list) == len(b_list)
+    for a, b in zip(a_list, b_list):
+        assert a.ok and b.ok
+        # RunMetrics is a dataclass of floats/ints: == is exact, not approx.
+        assert a.metrics == b.metrics
+        assert a.extras["event_count"] == b.extras["event_count"]
+        assert np.array_equal(a.extras["worker_completed"], b.extras["worker_completed"])
+        assert np.array_equal(
+            a.extras["final_frequencies"], b.extras["final_frequencies"]
+        )
+
+
+class TestRunSpec:
+    def test_cache_payload_tracks_inputs(self):
+        from repro.parallel import content_key
+
+        base = _specs()[0]
+        same = _specs()[0]
+        # Payloads hold trace ndarrays, so compare their content addresses.
+        assert content_key(base.cache_payload()) == content_key(same.cache_payload())
+        for changed in (
+            RunSpec(**{**_kw(base), "seed": 12}),
+            RunSpec(**{**_kw(base), "trace": constant_trace(121.0, 1.5)}),
+            RunSpec(**{**_kw(base), "label": "other"}),
+            RunSpec(**{**_kw(base), "policy_kwargs": (("use_turbo", False),)}),
+        ):
+            assert content_key(changed.cache_payload()) != content_key(
+                base.cache_payload()
+            )
+
+    def test_unknown_policy_raises(self):
+        spec = RunSpec(**{**_kw(_specs()[0]), "policy": "nope"})
+        with pytest.raises(KeyError, match="unknown grid policy"):
+            execute_run_spec(spec)
+
+    def test_unknown_extras_collector_raises(self):
+        spec = RunSpec(**{**_kw(_specs()[0]), "extras": ("bogus",)})
+        with pytest.raises(KeyError, match="unknown extras collector"):
+            execute_run_spec(spec)
+
+    def test_extras_registry_names(self):
+        assert set(EXTRAS) <= set(EXTRAS_COLLECTORS)
+
+
+def _kw(spec: RunSpec) -> dict:
+    return {
+        "app": spec.app,
+        "policy": spec.policy,
+        "trace": spec.trace,
+        "num_cores": spec.num_cores,
+        "seed": spec.seed,
+        "num_workers": spec.num_workers,
+        "policy_kwargs": spec.policy_kwargs,
+        "agent_path": spec.agent_path,
+        "agent_seed": spec.agent_seed,
+        "extras": spec.extras,
+        "label": spec.label,
+    }
+
+
+class TestGridDeterminism:
+    @pytest.mark.skipif(not _HAS_FORK, reason="fork start method unavailable")
+    def test_jobs4_bitwise_identical_to_serial(self):
+        specs = _specs()
+        serial = run_grid(specs, jobs=1, warmup=None)
+        fanned = run_grid(specs, jobs=4, warmup=None)
+        _assert_outcomes_bitwise_equal(serial, fanned)
+
+    def test_serial_rerun_bitwise_identical(self):
+        specs = _specs(duration=1.0)[:2]
+        a = run_grid(specs, jobs=1, warmup=None)
+        b = run_grid(specs, jobs=1, warmup=None)
+        _assert_outcomes_bitwise_equal(a, b)
+
+
+class TestGridCache:
+    def test_cold_then_warm_identical(self, tmp_path):
+        cache = RunResultCache(root=str(tmp_path))
+        specs = _specs(duration=1.0)[:2]
+        cold = run_grid(specs, jobs=1, cache=cache, warmup=None)
+        assert cache.hits == 0 and cache.misses == len(specs)
+        assert all(not o.from_cache for o in cold)
+
+        warm = run_grid(specs, jobs=1, cache=cache, warmup=None)
+        assert cache.hits == len(specs)
+        assert all(o.from_cache for o in warm)
+        _assert_outcomes_bitwise_equal(cold, warm)
+
+    @pytest.mark.skipif(not _HAS_FORK, reason="fork start method unavailable")
+    def test_warm_cache_matches_parallel_cold(self, tmp_path):
+        cache = RunResultCache(root=str(tmp_path))
+        specs = _specs(duration=1.0)[:3]
+        cold = run_grid(specs, jobs=2, cache=cache, warmup=None)
+        warm = run_grid(specs, jobs=2, cache=cache, warmup=None)
+        _assert_outcomes_bitwise_equal(cold, warm)
+
+    def test_errors_are_not_cached(self, tmp_path):
+        cache = RunResultCache(root=str(tmp_path))
+        bad = RunSpec(
+            app="no-such-app",
+            policy="baseline",
+            trace=constant_trace(50.0, 0.5),
+            num_cores=2,
+            seed=1,
+        )
+        (out,) = run_grid([bad], jobs=1, cache=cache, warmup=None)
+        assert not out.ok
+        assert not cache.contains(cache.key(bad.cache_payload()))
+
+
+class TestGridFailureIsolation:
+    @pytest.mark.skipif(not _HAS_FORK, reason="fork start method unavailable")
+    def test_one_bad_cell_does_not_kill_siblings(self):
+        good = _specs(duration=0.8)[:2]
+        bad = RunSpec(
+            app="no-such-app",
+            policy="baseline",
+            trace=constant_trace(50.0, 0.5),
+            num_cores=2,
+            seed=1,
+        )
+        outs = run_grid([good[0], bad, good[1]], jobs=2, warmup=None)
+        assert outs[0].ok and outs[2].ok
+        assert not outs[1].ok
+        assert "no-such-app" in outs[1].error or "KeyError" in outs[1].error
+        with pytest.raises(RuntimeError, match="grid cell"):
+            outs[1].unwrap()
+        # Spec order is preserved regardless of which worker finished first.
+        assert [o.spec.app for o in outs] == [good[0].app, "no-such-app", good[1].app]

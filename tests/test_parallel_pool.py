@@ -1,0 +1,117 @@
+"""Tests for the deterministic process-pool map (repro.parallel.pool)."""
+
+import os
+
+import pytest
+
+from repro.parallel.pool import (
+    ItemOutcome,
+    ParallelMap,
+    derive_seed,
+    effective_jobs,
+)
+
+
+# Module-level so the fork pool can pickle them by reference.
+def _square(x):
+    return x * x
+
+
+def _fail_on_three(x):
+    if x == 3:
+        raise ValueError("three is right out")
+    return x * 10
+
+
+def _pid_and_value(x):
+    return (os.getpid(), x)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, "xapian", "retail") == derive_seed(7, "xapian", "retail")
+
+    def test_distinct_parts_distinct_seeds(self):
+        a = derive_seed(7, "xapian", "retail")
+        b = derive_seed(7, "xapian", "gemini")
+        c = derive_seed(8, "xapian", "retail")
+        assert len({a, b, c}) == 3
+
+    def test_within_bits(self):
+        for bits in (16, 31, 48):
+            s = derive_seed(123, "app", bits=bits)
+            assert 0 <= s < (1 << bits)
+
+
+class TestEffectiveJobs:
+    def test_none_and_zero_mean_all_cpus(self):
+        assert effective_jobs(None) == (os.cpu_count() or 1)
+        assert effective_jobs(0) == (os.cpu_count() or 1)
+
+    def test_negative_clamps_to_one(self):
+        assert effective_jobs(-3) == 1
+
+    def test_positive_passthrough(self):
+        assert effective_jobs(5) == 5
+
+
+class TestItemOutcome:
+    def test_ok_unwrap(self):
+        out = ItemOutcome(index=0, value=42)
+        assert out.ok
+        assert out.unwrap() == 42
+
+    def test_error_unwrap_raises_with_traceback(self):
+        out = ItemOutcome(index=3, error="Traceback ...\nValueError: boom")
+        assert not out.ok
+        with pytest.raises(RuntimeError, match="item 3 failed"):
+            out.unwrap()
+
+
+class TestSerialMap:
+    def test_order_and_values(self):
+        pool = ParallelMap(jobs=1)
+        assert pool.is_serial
+        outs = pool.map(_square, [3, 1, 4, 1, 5])
+        assert [o.index for o in outs] == [0, 1, 2, 3, 4]
+        assert [o.unwrap() for o in outs] == [9, 1, 16, 1, 25]
+
+    def test_empty(self):
+        assert ParallelMap(jobs=1).map(_square, []) == []
+
+    def test_failure_isolated_to_item(self):
+        outs = ParallelMap(jobs=1).map(_fail_on_three, [1, 3, 5])
+        assert outs[0].unwrap() == 10
+        assert not outs[1].ok
+        assert "three is right out" in outs[1].error
+        assert outs[2].unwrap() == 50
+
+    def test_map_values_reraises_first_error(self):
+        with pytest.raises(RuntimeError, match="item 1 failed"):
+            ParallelMap(jobs=1).map_values(_fail_on_three, [1, 3, 5])
+
+
+@pytest.mark.skipif(
+    "fork" not in __import__("multiprocessing").get_all_start_methods(),
+    reason="fork start method unavailable",
+)
+class TestForkMap:
+    def test_matches_serial(self):
+        items = list(range(8))
+        serial = ParallelMap(jobs=1).map_values(_square, items)
+        forked = ParallelMap(jobs=4).map_values(_square, items)
+        assert forked == serial
+
+    def test_failure_isolated_across_workers(self):
+        outs = ParallelMap(jobs=4).map(_fail_on_three, [1, 2, 3, 4])
+        assert [o.ok for o in outs] == [True, True, False, True]
+        assert "ValueError" in outs[2].error
+        assert [o.unwrap() for o in (outs[0], outs[1], outs[3])] == [10, 20, 40]
+
+    def test_results_in_submission_order(self):
+        outs = ParallelMap(jobs=4).map(_pid_and_value, list(range(12)))
+        assert [o.unwrap()[1] for o in outs] == list(range(12))
+
+    def test_single_item_stays_in_process(self):
+        (out,) = ParallelMap(jobs=4).map(_pid_and_value, ["x"])
+        assert out.unwrap() == (os.getpid(), "x")

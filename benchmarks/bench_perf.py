@@ -26,6 +26,18 @@ committed baseline in ``benchmarks/bench_perf_baseline.json``, or when the
 vectorised controller is slower than the legacy loop.  Machines differ, so
 the committed baseline is deliberately conservative; the vs-legacy ratio is
 measured in-process and is machine-independent.
+
+Observability overhead gate (ISSUE 4)::
+
+    python benchmarks/bench_perf.py --obs-check
+
+runs an in-process A/B of :func:`repro.experiments.runner.run_policy` —
+best-of-3 with no observability at all versus best-of-3 with a metrics-only
+:class:`~repro.obs.Observability` attached — and fails (exit 1) when the
+attached run is more than ``OBS_OVERHEAD_TOLERANCE`` (2 %) slower.  Being
+an A/B on the same process and machine, the ratio is machine-independent,
+unlike the absolute ticks/sec baseline.  A fully-traced run is also timed
+and reported (informational only; tracing is opt-in and allowed to cost).
 """
 
 from __future__ import annotations
@@ -56,6 +68,10 @@ BENCH_SCHEMA = 1
 
 #: --check fails when ticks/sec falls below (1 - this) * baseline.
 REGRESSION_TOLERANCE = 0.30
+
+#: --obs-check fails when the metrics-only observability A/B shows more
+#: than this fractional slowdown over the no-observability run.
+OBS_OVERHEAD_TOLERANCE = 0.02
 
 
 class _LegacyThreadController(ThreadController):
@@ -154,6 +170,96 @@ def bench_run_policy(
     }
 
 
+def bench_obs_overhead(
+    app_name: str = "xapian", num_cores: int = 4,
+    duration: float = 20.0, rps: float = 150.0, seed: int = 3,
+    repeats: int = 5,
+) -> dict:
+    """In-process A/B of run_policy with and without observability attached.
+
+    Uses the DRL evaluation path (``gemini`` would dodge the instrumented
+    runtime, so this drives :class:`DeepPowerRuntime` directly) because that
+    is where every obs branch added by ISSUE 4 lives.  One untimed warmup
+    run absorbs import/allocator cold-start; then each of ``repeats``
+    rounds times every arm back-to-back and the gate compares the **median
+    of per-round ratios**: back-to-back runs see near-identical machine
+    load, so paired ratios cancel the slow background drift a 2 % gate has
+    no headroom for, and the median discards spike rounds in either
+    direction.  The simulated duration is floored at 60 s so each arm runs
+    long enough for the ratio to be meaningful.  The traced arm writes a
+    real JSONL trace to a throwaway file and is reported but not gated.
+    """
+    import tempfile
+
+    from repro.core import DeepPowerAgent, default_ddpg_config
+    from repro.core.runtime import DeepPowerConfig, DeepPowerRuntime
+    from repro.obs import Observability, TraceWriter
+    from repro.sim import RngRegistry
+
+    app = get_app(app_name)
+    duration = max(duration, 60.0)
+    trace = constant_trace(rps, duration)
+
+    def _one(obs) -> float:
+        agent = DeepPowerAgent(
+            RngRegistry(seed).get("agent"),
+            default_ddpg_config(warmup=8, batch_size=16),
+        )
+
+        def factory(ctx):
+            return DeepPowerRuntime(
+                ctx.engine, ctx.server, ctx.monitor, agent, DeepPowerConfig(),
+                obs=obs,
+            )
+
+        t0 = time.perf_counter()
+        run_policy(factory, app, trace, num_cores, seed=seed, obs=obs)
+        return time.perf_counter() - t0
+
+    def _timed(mk_obs) -> float:
+        obs = mk_obs()
+        try:
+            return _one(obs)
+        finally:
+            if obs is not None:
+                obs.close()
+
+    tmp = tempfile.NamedTemporaryFile(suffix=".trace.jsonl", delete=False)
+    tmp.close()
+    arms = {
+        "plain": lambda: None,
+        "metrics_only": Observability,
+        "traced": lambda: Observability(trace=TraceWriter(tmp.name)),
+    }
+    try:
+        _timed(arms["plain"])  # warmup, discarded
+        rounds = []
+        for _ in range(repeats):
+            rounds.append({name: _timed(mk) for name, mk in arms.items()})
+    finally:
+        os.unlink(tmp.name)
+
+    def _median(vals):
+        s = sorted(vals)
+        mid = len(s) // 2
+        return s[mid] if len(s) % 2 else 0.5 * (s[mid - 1] + s[mid])
+
+    best = {name: min(r[name] for r in rounds) for name in arms}
+    return {
+        "sim_seconds": duration,
+        "repeats": repeats,
+        "plain_seconds": best["plain"],
+        "metrics_only_seconds": best["metrics_only"],
+        "traced_seconds": best["traced"],
+        # Median of per-round paired ratios; > 1.0 means the attached run
+        # was slower by that factor.
+        "metrics_only_overhead": _median(
+            [r["metrics_only"] / r["plain"] for r in rounds]
+        ),
+        "traced_overhead": _median([r["traced"] / r["plain"] for r in rounds]),
+    }
+
+
 def _grid_specs(apps, num_cores: int, duration: float, seed: int):
     specs = []
     for name in apps:
@@ -219,7 +325,7 @@ def run_benchmarks(args) -> dict:
         f"jobs={args.jobs} {grid['parallel_seconds']:.2f}s "
         f"({grid['speedup']:.2f}x on {os.cpu_count()} cpu(s))"
     )
-    return {
+    result = {
         "schema": BENCH_SCHEMA,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "cpus": os.cpu_count(),
@@ -234,6 +340,37 @@ def run_benchmarks(args) -> dict:
         "run_policy": rp,
         "grid": grid,
     }
+    if args.obs_check:
+        print("[bench_perf] observability overhead A/B (median of 5 paired rounds) ...")
+        obs = bench_obs_overhead(duration=args.duration)
+        print(
+            f"  plain {obs['plain_seconds']:.2f}s, metrics-only "
+            f"{obs['metrics_only_seconds']:.2f}s "
+            f"({(obs['metrics_only_overhead'] - 1.0) * 100:+.1f}%), traced "
+            f"{obs['traced_seconds']:.2f}s "
+            f"({(obs['traced_overhead'] - 1.0) * 100:+.1f}%)"
+        )
+        result["obs"] = obs
+    return result
+
+
+def check_obs_overhead(result: dict) -> int:
+    """Gate the in-process observability A/B; returns a process exit code."""
+    overhead = result["obs"]["metrics_only_overhead"]
+    ceiling = 1.0 + OBS_OVERHEAD_TOLERANCE
+    if overhead > ceiling:
+        print(
+            f"[bench_perf] REGRESSION: metrics-only observability costs "
+            f"{(overhead - 1.0) * 100:.1f}% "
+            f"(> {OBS_OVERHEAD_TOLERANCE * 100:.0f}% tolerance)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"[bench_perf] obs overhead {(overhead - 1.0) * 100:+.1f}% "
+        f"(tolerance {OBS_OVERHEAD_TOLERANCE * 100:.0f}%): OK"
+    )
+    return 0
 
 
 def check_regression(result: dict, baseline_path: str) -> int:
@@ -282,6 +419,10 @@ def main(argv=None) -> int:
                    help="where to write the JSON report")
     p.add_argument("--check", action="store_true",
                    help="exit 1 on perf regression vs the committed baseline")
+    p.add_argument("--obs-check", action="store_true",
+                   help="also run the observability A/B; exit 1 when a "
+                        "metrics-only handle costs more than "
+                        f"{OBS_OVERHEAD_TOLERANCE:.0%}")
     p.add_argument("--baseline", default=DEFAULT_BASELINE,
                    help="baseline JSON for --check")
     args = p.parse_args(argv)
@@ -292,9 +433,12 @@ def main(argv=None) -> int:
         f.write("\n")
     print(f"[bench_perf] wrote {args.out}")
 
+    code = 0
     if args.check:
-        return check_regression(result, args.baseline)
-    return 0
+        code = check_regression(result, args.baseline)
+    if args.obs_check:
+        code = max(code, check_obs_overhead(result))
+    return code
 
 
 if __name__ == "__main__":

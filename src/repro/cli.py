@@ -12,9 +12,14 @@ Quick policy comparison on one app::
 
     deeppower compare --app xapian --policies baseline,retail
 
-Train and save a DeepPower agent::
+Train and save a DeepPower agent (with an observability trace)::
 
-    deeppower train --app xapian --episodes 20 --out agent.npz
+    deeppower train --app xapian --episodes 20 --out agent.npz \
+        --trace-out run.trace.jsonl --metrics-out run.metrics.json
+
+Rebuild the per-interval (Fig 8-style) table from a trace::
+
+    deeppower trace summarize run.trace.jsonl
 """
 
 from __future__ import annotations
@@ -38,6 +43,7 @@ def _cmd_experiment(args) -> int:
         resume=args.resume,
         jobs=args.jobs,
         result_cache=not args.no_cache,
+        trace_dir=args.trace_dir,
     )
     kwargs = {}
     if args.full:
@@ -109,10 +115,32 @@ def _cmd_train(args) -> int:
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
         resume=args.resume,
+        trace_out=args.trace_out,
+        metrics_out=args.metrics_out,
+        profile=args.profile_spans,
     )
     agent.save(args.out)
     print(f"saved trained agent to {args.out}")
     print(f"final mean reward: {result.episodes[-1].mean_reward:.3f}")
+    if args.trace_out:
+        print(f"trace written to {args.trace_out}")
+    if args.metrics_out:
+        print(f"metrics written to {args.metrics_out}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from .obs import TraceError, render_summary, summarize_trace
+
+    if args.action != "summarize":
+        print(f"unknown trace action {args.action!r}; try: summarize", file=sys.stderr)
+        return 2
+    try:
+        summary = summarize_trace(args.file, strict=not args.lenient)
+    except (TraceError, OSError) as exc:
+        print(f"cannot summarize {args.file}: {exc}", file=sys.stderr)
+        return 1
+    print(render_summary(summary, limit=args.limit))
     return 0
 
 
@@ -143,6 +171,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="bypass the content-addressed run-result cache under REPRO_CACHE",
     )
+    sp.add_argument(
+        "--trace-dir", default=None,
+        help="write a JSONL observability trace per grid cell into this "
+        "directory (traced cells always execute, bypassing the result cache)",
+    )
     sp.set_defaults(fn=_cmd_experiment)
 
     sp = sub.add_parser("compare", help="compare policies on one app")
@@ -170,7 +203,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", action="store_true",
         help="resume training from the newest valid snapshot",
     )
+    sp.add_argument(
+        "--trace-out", default=None,
+        help="write a schema-versioned JSONL observability trace of the "
+        "whole training run here",
+    )
+    sp.add_argument(
+        "--metrics-out", default=None,
+        help="write the final metrics-registry snapshot (JSON) here",
+    )
+    sp.add_argument(
+        "--profile-spans", action="store_true",
+        help="time instrumented hot paths (engine loop, controller tick, "
+        "agent update) and include span stats in the trace/metrics outputs",
+    )
     sp.set_defaults(fn=_cmd_train)
+
+    sp = sub.add_parser("trace", help="inspect a JSONL observability trace")
+    sp.add_argument("action", help="what to do with the trace (summarize)")
+    sp.add_argument("file", help="path to a .trace.jsonl file")
+    sp.add_argument(
+        "--limit", type=int, default=None,
+        help="show only the last N per-interval rows",
+    )
+    sp.add_argument(
+        "--lenient", action="store_true",
+        help="tolerate truncated/unfinished traces (e.g. a .part file "
+        "from a crashed run)",
+    )
+    sp.set_defaults(fn=_cmd_trace)
     return p
 
 

@@ -25,6 +25,7 @@ cooldown.  Trips, recoveries and per-step anomaly counts are exposed on
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import TYPE_CHECKING, List, Optional
 
 import numpy as np
@@ -103,6 +104,7 @@ class DeepPowerRuntime:
         monitor: PowerMonitor,
         agent: DeepPowerAgent,
         config: Optional[DeepPowerConfig] = None,
+        obs=None,
     ) -> None:
         self.engine = engine
         self.server = server
@@ -147,6 +149,27 @@ class DeepPowerRuntime:
             )
         self._fallback: Optional[Governor] = None
         self._last_tick_count = 0
+        # Observability (opt-in; obs=None leaves every hot path branch-only).
+        self.obs = obs
+        self._trace = obs.trace if obs is not None else None
+        self._spans = obs.spans if obs is not None else None
+        self._last_switches = 0
+        self._m_steps = self._m_trips = self._m_rearms = self._m_ckpts = None
+        self._g_reward = self._g_power = None
+        if obs is not None:
+            engine.spans = obs.spans  # None when not profiling
+            self.controller.bind_spans(obs.spans)
+            self.monitor.bind_obs(obs)
+            server.telemetry.bind_obs(obs)
+            if self._trace is not None:
+                self.controller.enable_window_stats()
+            m = obs.metrics
+            self._m_steps = m.counter("drl.steps")
+            self._m_trips = m.counter("watchdog.trips")
+            self._m_rearms = m.counter("watchdog.rearms")
+            self._m_ckpts = m.counter("checkpoint.saves")
+            self._g_reward = m.gauge("drl.reward")
+            self._g_power = m.gauge("power.watts")
 
     # ----------------------------------------------------------------- control
 
@@ -169,6 +192,7 @@ class DeepPowerRuntime:
         self.reward_calc.reset()
         self.controller.start()
         self._last_tick_count = self.controller.tick_count
+        self._last_switches = self.server.cpu.total_switches()
         snap = self.server.telemetry.snapshot()  # empty initial window
         self.monitor.window_energy()  # (re-)zero the energy window
         s1 = self.observer.observe(snap)
@@ -222,8 +246,11 @@ class DeepPowerRuntime:
                 s_prev, a_prev = self._prev
                 self.agent.observe(s_prev, a_prev, rb.total, s_next, done=False)
                 if self.cfg.train:
+                    t0 = perf_counter() if self._spans is not None else None
                     for _ in range(self.cfg.updates_per_step):
                         self._last_losses = self.agent.update() or self._last_losses
+                    if t0 is not None:
+                        self._spans.record("agent.update", perf_counter() - t0)
 
             action = self.agent.act(s_next, explore=self.cfg.train)
             if wd is not None:
@@ -240,9 +267,27 @@ class DeepPowerRuntime:
             if transition == "trip":
                 self._enter_fallback()
                 fallback_now = True
+                if self._m_trips is not None:
+                    self._m_trips.inc()
+                if self._trace is not None:
+                    self._trace.emit(
+                        "watchdog-trip",
+                        t=self.engine.now,
+                        step=self.step_count,
+                        anomalies=anomalies,
+                    )
             elif transition == "rearm":
                 self._exit_fallback()
+                if self._m_rearms is not None:
+                    self._m_rearms.inc()
+                if self._trace is not None:
+                    self._trace.emit(
+                        "watchdog-rearm", t=self.engine.now, step=self.step_count
+                    )
+        step_no = self.step_count
         self.step_count += 1
+        if self._m_steps is not None:
+            self._m_steps.inc()
         if (
             self.cfg.checkpoint is not None
             and self.cfg.checkpoint_every_steps > 0
@@ -251,25 +296,75 @@ class DeepPowerRuntime:
             self.cfg.checkpoint.save(
                 self.state_dict(), step=self.step_count, meta={"kind": "runtime"}
             )
+            if self._m_ckpts is not None:
+                self._m_ckpts.inc()
+            if self._trace is not None:
+                self._trace.emit(
+                    "checkpoint",
+                    t=self.engine.now,
+                    step=self.step_count,
+                    ckpt_kind="runtime",
+                )
 
-        if self.cfg.record_steps:
+        trace = self._trace
+        if self.cfg.record_steps or self.obs is not None:
             window = max(snap.window, 1e-12)
             freqs = self.server.cpu.frequencies()[: self.server.num_workers]
-            self.records.append(
-                StepRecord(
-                    time=snap.time,
+            power_w = energy / window
+            rps = snap.num_req / window
+            avg_freq = float(freqs.mean())
+            if self.cfg.record_steps:
+                self.records.append(
+                    StepRecord(
+                        time=snap.time,
+                        state=s_next,
+                        action=action.copy(),
+                        reward=rb,
+                        power_watts=power_w,
+                        rps=rps,
+                        queue_len=snap.queue_len,
+                        timeouts=snap.timeouts,
+                        avg_frequency=avg_freq,
+                        fallback=fallback_now,
+                        anomalies=anomalies,
+                    )
+                )
+            if self._g_power is not None:
+                self._g_power.set(power_w)
+                if rb is not None:
+                    self._g_reward.set(rb.total)
+            if trace is not None:
+                trace.emit(
+                    "drl-step",
+                    t=snap.time,
+                    step=step_no,
                     state=s_next,
-                    action=action.copy(),
-                    reward=rb,
-                    power_watts=energy / window,
-                    rps=snap.num_req / window,
+                    action=action,
+                    reward=None
+                    if rb is None
+                    else {
+                        "total": rb.total,
+                        "energy": rb.energy_term,
+                        "timeout": rb.timeout_term,
+                        "queue": rb.queue_term,
+                    },
+                    power_w=power_w,
+                    rps=rps,
                     queue_len=snap.queue_len,
                     timeouts=snap.timeouts,
-                    avg_frequency=float(freqs.mean()),
+                    avg_freq=avg_freq,
                     fallback=fallback_now,
                     anomalies=anomalies,
                 )
-            )
+                switches = self.server.cpu.total_switches()
+                trace.emit(
+                    "controller-window",
+                    t=snap.time,
+                    step=step_no,
+                    dvfs_switches=switches - self._last_switches,
+                    **self.controller.window_summary(),
+                )
+                self._last_switches = switches
 
     # --------------------------------------------------------------- fallback
 

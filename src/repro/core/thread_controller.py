@@ -19,7 +19,9 @@ frequency selection.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from time import perf_counter
 from typing import List, Optional
 
 import numpy as np
@@ -90,6 +92,12 @@ class ThreadController:
         self._raw_buf = np.empty(nw)
         self._idle_mask = np.empty(nw, dtype=bool)
         self._turbo_mask = np.empty(nw, dtype=bool)
+        # Observability (all opt-in; the default costs one branch per tick).
+        self._win = False
+        self._win_ticks = 0
+        self._win_sum = 0.0
+        self._win_min = math.inf
+        self._win_max = -math.inf
 
     # ----------------------------------------------------------------- control
 
@@ -115,6 +123,65 @@ class ThreadController:
     def stop(self) -> None:
         if self._task is not None:
             self._task.stop()
+
+    # ----------------------------------------------------------- observability
+
+    def bind_spans(self, spans) -> None:
+        """Time every tick into ``spans`` under ``controller.tick``.
+
+        Wraps :meth:`tick` with an instance-level closure (the same idiom
+        the fault injectors use), so the un-profiled tick path carries no
+        timing code at all.  Call before :meth:`start`.
+        """
+        if spans is None:
+            return
+        inner = self.tick
+
+        def timed_tick() -> None:
+            t0 = perf_counter()
+            inner()
+            spans.record("controller.tick", perf_counter() - t0)
+
+        self.tick = timed_tick  # type: ignore[method-assign]
+
+    def enable_window_stats(self) -> None:
+        """Accumulate per-tick mean applied frequency until the next
+        :meth:`window_summary` call (used by the trace's
+        ``controller-window`` events)."""
+        self._win = True
+        self._reset_window()
+
+    def _reset_window(self) -> None:
+        self._win_ticks = 0
+        self._win_sum = 0.0
+        self._win_min = math.inf
+        self._win_max = -math.inf
+
+    def _win_observe(self, mean_freq: float) -> None:
+        self._win_ticks += 1
+        self._win_sum += mean_freq
+        if mean_freq < self._win_min:
+            self._win_min = mean_freq
+        if mean_freq > self._win_max:
+            self._win_max = mean_freq
+
+    def window_summary(self) -> dict:
+        """Frequency summary of the ticks since the previous call; resets.
+
+        ``freq_*`` aggregate the per-tick mean worker-core frequency (GHz);
+        a window with no ticks reports NaN frequencies and ``ticks=0``.
+        """
+        n = self._win_ticks
+        out = {
+            "ticks": n,
+            "base_freq": self.base_freq,
+            "scaling_coef": self.scaling_coef,
+            "freq_mean": self._win_sum / n if n else float("nan"),
+            "freq_min": self._win_min if n else float("nan"),
+            "freq_max": self._win_max if n else float("nan"),
+        }
+        self._reset_window()
+        return out
 
     # ------------------------------------------------------------- persistence
 
@@ -177,7 +244,9 @@ class ThreadController:
             for b in self.server.begin_times().tolist():
                 s = base if b != b else (now - b) / sla * coef + base
                 raw.append(turbo if s >= 1.0 else fmin + fspan * s)
-            self.cpu.set_frequencies(raw, count=nw)
+            applied = self.cpu.set_frequencies(raw, count=nw)
+            if self._win:
+                self._win_observe(float(applied.mean()))
             return
         sc = self.scores(now)
         self.tick_count += 1
@@ -187,6 +256,8 @@ class ThreadController:
         raw += self._fmin
         np.copyto(raw, self._turbo, where=self._turbo_mask)
         applied = self.cpu.set_frequencies(raw, count=nw)
+        if self._win:
+            self._win_observe(float(applied.mean()))
         if self.record_trace:
             self.trace.append(
                 FrequencyTracePoint(

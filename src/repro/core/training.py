@@ -78,9 +78,11 @@ class TrainingResult:
         return float(curve[half:].mean()) >= float(curve[:half].mean())
 
 
-def _make_runtime_factory(agent: DeepPowerAgent, config: DeepPowerConfig):
+def _make_runtime_factory(agent: DeepPowerAgent, config: DeepPowerConfig, obs=None):
     def factory(ctx):
-        return DeepPowerRuntime(ctx.engine, ctx.server, ctx.monitor, agent, config)
+        return DeepPowerRuntime(
+            ctx.engine, ctx.server, ctx.monitor, agent, config, obs=obs
+        )
 
     return factory
 
@@ -129,6 +131,10 @@ def train_deeppower(
     checkpoint_every: int = 1,
     resume: bool = False,
     keep_histories: bool = False,
+    obs=None,
+    trace_out: Optional[str] = None,
+    metrics_out: Optional[str] = None,
+    profile: bool = False,
 ) -> TrainingResult:
     """Train a DeepPower agent over repeated plays of ``trace``.
 
@@ -150,8 +156,15 @@ def train_deeppower(
         Collect per-step reward/action/frequency arrays for every episode
         on the result (and inside snapshots, so a resumed result still
         carries the full history).
+    obs, trace_out, metrics_out, profile:
+        Observability: pass a ready :class:`~repro.obs.Observability`
+        handle via ``obs`` (caller owns its lifecycle), or give output
+        paths and training builds (and closes) its own.  The trace gets
+        ``episode-start`` / ``episode-end`` / ``checkpoint`` events plus
+        every per-run event the runtime and runner emit.
     """
     from ..experiments.runner import run_policy  # deferred: avoids core->experiments cycle
+    from ..obs import Observability
 
     if episodes <= 0:
         raise ValueError("episodes must be positive")
@@ -162,6 +175,18 @@ def train_deeppower(
         agent = DeepPowerAgent(rngs.get("agent"), default_ddpg_config())
     cfg = copy.copy(config) if config is not None else DeepPowerConfig()
     cfg.train = True
+
+    own_obs = False
+    if obs is None and (trace_out or metrics_out or profile):
+        obs = Observability.from_paths(
+            trace_out=trace_out,
+            metrics_out=metrics_out,
+            profile=profile,
+            meta={"app": app.name, "episodes": episodes, "seed": seed,
+                  "num_cores": num_cores, "mode": "train"},
+        )
+        own_obs = True
+    tracer = obs.trace if obs is not None else None
 
     manager = (
         CheckpointManager(checkpoint_dir, prefix="train") if checkpoint_dir else None
@@ -181,53 +206,64 @@ def train_deeppower(
             if verbose:  # pragma: no cover - console convenience
                 print(f"resumed from {record.path} at episode {start_ep}")
 
-    factory = _make_runtime_factory(agent, cfg)
-    for ep in range(start_ep, episodes):
-        run = run_policy(
-            factory,
-            app,
-            trace,
-            num_cores,
-            seed=seed * 10_000 + ep + 1,
-            extras_fn=_runtime_extras,
-        )
-        rewards = np.array(
-            [r.reward.total for r in run.extras["records"] if r.reward is not None]
-        )
-        stats = EpisodeStats(
-            episode=ep,
-            total_reward=float(rewards.sum()) if rewards.size else 0.0,
-            mean_reward=float(rewards.mean()) if rewards.size else 0.0,
-            timeout_rate=run.metrics.timeout_rate,
-            avg_power_watts=run.metrics.avg_power_watts,
-            tail_latency=run.metrics.tail_latency,
-            completed=run.metrics.completed,
-        )
-        result.episodes.append(stats)
-        if keep_histories:
-            result.histories.append(_episode_history(run))
-        if verbose:  # pragma: no cover - console convenience
-            print(
-                f"episode {ep:3d}: reward {stats.mean_reward:8.4f}  "
-                f"power {stats.avg_power_watts:6.1f} W  "
-                f"p99 {stats.tail_latency * 1e3:7.1f} ms  "
-                f"timeout {stats.timeout_rate:6.2%}"
+    factory = _make_runtime_factory(agent, cfg, obs=obs)
+    try:
+        for ep in range(start_ep, episodes):
+            if tracer is not None:
+                tracer.emit("episode-start", episode=ep)
+            run = run_policy(
+                factory,
+                app,
+                trace,
+                num_cores,
+                seed=seed * 10_000 + ep + 1,
+                extras_fn=_runtime_extras,
+                obs=obs,
             )
-        done = ep + 1
-        if manager is not None and (
-            done % checkpoint_every == 0 or done == episodes
-        ):
-            manager.save(
-                {
-                    "next_episode": done,
-                    "agent": agent.state_dict(),
-                    "episodes": [asdict(s) for s in result.episodes],
-                    "histories": result.histories if keep_histories else None,
-                    "seed": seed,
-                },
-                step=done,
-                meta={"kind": _TRAINING_CKPT_KIND, "app": app.name},
+            rewards = np.array(
+                [r.reward.total for r in run.extras["records"] if r.reward is not None]
             )
+            stats = EpisodeStats(
+                episode=ep,
+                total_reward=float(rewards.sum()) if rewards.size else 0.0,
+                mean_reward=float(rewards.mean()) if rewards.size else 0.0,
+                timeout_rate=run.metrics.timeout_rate,
+                avg_power_watts=run.metrics.avg_power_watts,
+                tail_latency=run.metrics.tail_latency,
+                completed=run.metrics.completed,
+            )
+            result.episodes.append(stats)
+            if tracer is not None:
+                tracer.emit("episode-end", **asdict(stats))
+            if keep_histories:
+                result.histories.append(_episode_history(run))
+            if verbose:  # pragma: no cover - console convenience
+                print(
+                    f"episode {ep:3d}: reward {stats.mean_reward:8.4f}  "
+                    f"power {stats.avg_power_watts:6.1f} W  "
+                    f"p99 {stats.tail_latency * 1e3:7.1f} ms  "
+                    f"timeout {stats.timeout_rate:6.2%}"
+                )
+            done = ep + 1
+            if manager is not None and (
+                done % checkpoint_every == 0 or done == episodes
+            ):
+                manager.save(
+                    {
+                        "next_episode": done,
+                        "agent": agent.state_dict(),
+                        "episodes": [asdict(s) for s in result.episodes],
+                        "histories": result.histories if keep_histories else None,
+                        "seed": seed,
+                    },
+                    step=done,
+                    meta={"kind": _TRAINING_CKPT_KIND, "app": app.name},
+                )
+                if tracer is not None:
+                    tracer.emit("checkpoint", episode=done, ckpt_kind=_TRAINING_CKPT_KIND)
+    finally:
+        if own_obs:
+            obs.close()
     return result
 
 
@@ -240,6 +276,7 @@ def evaluate_deeppower(
     config: Optional[DeepPowerConfig] = None,
     keep_requests: bool = False,
     record_freq_trace: bool = False,
+    obs=None,
 ) -> "RunResult":
     """Run a frozen DeepPower policy (no exploration, no updates)."""
     from ..experiments.runner import run_policy  # deferred: avoids core->experiments cycle
@@ -247,7 +284,7 @@ def evaluate_deeppower(
     cfg = copy.copy(config) if config is not None else DeepPowerConfig()
     cfg.train = False
     cfg.record_freq_trace = record_freq_trace
-    factory = _make_runtime_factory(agent, cfg)
+    factory = _make_runtime_factory(agent, cfg, obs=obs)
     return run_policy(
         factory,
         app,
@@ -256,4 +293,5 @@ def evaluate_deeppower(
         seed=seed,
         keep_requests=keep_requests,
         extras_fn=_runtime_extras,
+        obs=obs,
     )

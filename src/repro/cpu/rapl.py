@@ -96,6 +96,17 @@ class PowerMonitor:
         self._base_time = engine.now
         self._last_sample = self.read()
         self.samples: List[EnergySample] = []
+        self._trace = None
+        self._m_glitches = None
+
+    def bind_obs(self, obs) -> None:
+        """Attach observability sinks: every ``window_energy`` read emits a
+        ``rapl-window`` trace event and glitches count into the metrics
+        registry.  The unbound default adds one branch per window read."""
+        if obs is None:
+            return
+        self._trace = obs.trace
+        self._m_glitches = obs.metrics.counter("rapl.glitches")
 
     # ---------------------------------------------------------------- reading
 
@@ -134,7 +145,17 @@ class PowerMonitor:
             delta = self.unwrap(prev.counter, cur.counter, self.wrap_joules)
         else:
             delta = cur.energy - prev.energy
-        return self._screen_delta(delta, cur.time - prev.time)
+        dt = cur.time - prev.time
+        delta = self._screen_delta(delta, dt)
+        if self._trace is not None:
+            self._trace.emit(
+                "rapl-window",
+                t=cur.time,
+                joules=delta,
+                watts=delta / dt if dt > 0 else float("nan"),
+                glitch_count=self.glitch_count,
+            )
+        return delta
 
     def _screen_delta(self, delta: float, dt: float) -> float:
         """Clamp a window delta the hardware could not have produced."""
@@ -151,6 +172,16 @@ class PowerMonitor:
 
     def _note_glitch(self, delta: float, replacement: float) -> None:
         self.glitch_count += 1
+        if self._m_glitches is not None:
+            self._m_glitches.inc()
+        if self._trace is not None:
+            self._trace.emit(
+                "rapl-glitch",
+                t=self.engine.now,
+                delta=delta if math.isfinite(delta) else repr(delta),
+                replacement=replacement,
+                glitch_count=self.glitch_count,
+            )
         if self.glitch_count <= 3 or self.glitch_count % 100 == 0:
             _log.warning(
                 "implausible RAPL window delta %.3f J clamped to %.3f J (glitch #%d)",

@@ -185,6 +185,7 @@ def run_fig7(
     checkpoint: Optional["CheckpointManager"] = None,
     jobs: int = 1,
     result_cache: Optional["RunResultCache"] = None,
+    trace_dir: Optional[str] = None,
 ) -> Dict[str, Fig7AppResult]:
     """The full Fig 7 pipeline, staged: calibrate/train per app, then fan
     the whole (app x policy) evaluation grid out at once.
@@ -197,6 +198,8 @@ def run_fig7(
     are bitwise identical to ``jobs=1``: every cell owns its engine and RNG
     stack); ``result_cache`` short-circuits cells whose content-addressed
     key — trace content, seed, trained-agent digest — is already stored.
+    ``trace_dir`` writes a per-cell JSONL observability trace (traced
+    cells always execute; see :func:`repro.parallel.run_grid`).
     """
     from ..parallel import RunSpec, run_grid
 
@@ -257,7 +260,7 @@ def run_fig7(
                     label=f"fig7-{profile.name}",
                 )
             )
-    outcomes = iter(run_grid(specs, jobs=jobs, cache=result_cache))
+    outcomes = iter(run_grid(specs, jobs=jobs, cache=result_cache, trace_dir=trace_dir))
 
     for name, app, nw, cal, trace, agent_path in staged:
         runs: Dict[str, RunMetrics] = {
@@ -281,6 +284,11 @@ def run_fig7(
     return results
 
 
+def _fmt_or_na(value: float, fmt: str) -> str:
+    """Format, rendering the NaN of a degenerate (zero-completion) run as n/a."""
+    return "n/a" if value != value else fmt.format(value)
+
+
 def render_fig7(results: Dict[str, Fig7AppResult]) -> str:
     rows = []
     for name, ar in results.items():
@@ -295,11 +303,11 @@ def render_fig7(results: Dict[str, Fig7AppResult]) -> str:
                     pol,
                     m.avg_power_watts,
                     f"{o.saving_vs_baseline:.1%}",
-                    m.mean_latency * 1e3,
-                    m.tail_latency * 1e3,
-                    f"{m.tail_latency / ar.sla:.2f}x",
-                    m.mean_tail_ratio,
-                    f"{m.timeout_rate:.2%}",
+                    _fmt_or_na(m.mean_latency * 1e3, "{:.2f}"),
+                    _fmt_or_na(m.tail_latency * 1e3, "{:.2f}"),
+                    _fmt_or_na(m.tail_latency / ar.sla, "{:.2f}x"),
+                    _fmt_or_na(m.mean_tail_ratio, "{:.2f}"),
+                    _fmt_or_na(m.timeout_rate, "{:.2%}"),
                 ]
             )
     return format_table(

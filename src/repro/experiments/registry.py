@@ -52,6 +52,7 @@ class Experiment:
         resume: bool = False,
         jobs: int = 1,
         result_cache=True,
+        trace_dir: Optional[str] = None,
         **kwargs,
     ) -> str:
         """Run and render to text.
@@ -64,11 +65,13 @@ class Experiment:
         manager passed through for finer-grained mid-run snapshots, so a
         killed run restarts from its last completed stage.
 
-        ``jobs`` and ``result_cache`` are forwarded only to run functions
-        that declare the corresponding parameter: ``jobs`` fans independent
-        runs over worker processes, and ``result_cache`` (default on;
-        ``False`` disables, or pass a :class:`~repro.parallel.RunResultCache`)
-        reuses content-addressed cached run results under ``REPRO_CACHE``.
+        ``jobs``, ``result_cache`` and ``trace_dir`` are forwarded only to
+        run functions that declare the corresponding parameter: ``jobs``
+        fans independent runs over worker processes, ``result_cache``
+        (default on; ``False`` disables, or pass a
+        :class:`~repro.parallel.RunResultCache`) reuses content-addressed
+        cached run results under ``REPRO_CACHE``, and ``trace_dir`` writes
+        per-run JSONL observability traces there.
         """
         run_params = inspect.signature(self.run).parameters
         if "jobs" in run_params:
@@ -77,6 +80,8 @@ class Experiment:
             from ..parallel import resolve_cache
 
             kwargs.setdefault("result_cache", resolve_cache(result_cache))
+        if trace_dir is not None and "trace_dir" in run_params:
+            kwargs.setdefault("trace_dir", trace_dir)
         if checkpoint_dir is None:
             return self.render(self.run(**kwargs))
         from ..checkpoint import CheckpointManager

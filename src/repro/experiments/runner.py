@@ -46,6 +46,8 @@ class RunContext:
     app: AppSpec
     trace: WorkloadTrace
     num_cores: int
+    #: Optional :class:`~repro.obs.Observability` handle for this run.
+    obs: Any = None
 
 
 @dataclass
@@ -73,6 +75,7 @@ def build_context(
     *,
     num_workers: Optional[int] = None,
     keep_requests: bool = False,
+    obs: Any = None,
 ) -> RunContext:
     """Construct the simulated stack for one run (no policy attached)."""
     engine = Engine()
@@ -95,6 +98,7 @@ def build_context(
         app=app,
         trace=trace,
         num_cores=num_cores,
+        obs=obs,
     )
 
 
@@ -111,6 +115,7 @@ def run_policy(
     extras_fn: Optional[Callable[[RunContext, Any], Dict[str, Any]]] = None,
     checkpoint: Optional["CheckpointManager"] = None,
     checkpoint_every: float = 0.0,
+    obs: Any = None,
 ) -> RunResult:
     """Run one (app, policy, trace) experiment.
 
@@ -129,6 +134,12 @@ def run_policy(
         With both set and a driver exposing ``state_dict()``, autosave the
         driver's state every ``checkpoint_every`` simulated seconds, so a
         crash mid-run loses at most one autosave interval of learning.
+    obs:
+        Optional :class:`~repro.obs.Observability`.  The runner emits
+        ``run-start`` / ``run-summary`` (and ``run-warning`` for
+        degenerate zero-completion runs) into its trace and hands it to
+        the driver factory via ``ctx.obs``; the caller owns its lifecycle
+        (the runner flushes but never closes it).
 
     Returns
     -------
@@ -136,8 +147,24 @@ def run_policy(
         Latency metrics joined with energy/power over the trace window.
     """
     ctx = build_context(
-        app, trace, num_cores, seed, num_workers=num_workers, keep_requests=keep_requests
+        app,
+        trace,
+        num_cores,
+        seed,
+        num_workers=num_workers,
+        keep_requests=keep_requests,
+        obs=obs,
     )
+    trace_writer = obs.trace if obs is not None else None
+    if trace_writer is not None:
+        trace_writer.emit(
+            "run-start",
+            t=ctx.engine.now,
+            app=app.name,
+            trace_duration=trace.duration,
+            num_cores=num_cores,
+            seed=seed,
+        )
     driver = driver_factory(ctx)
     if driver is not None and hasattr(driver, "start"):
         driver.start()
@@ -189,6 +216,21 @@ def run_policy(
     metrics.energy_joules = energy
     metrics.avg_power_watts = energy / duration if duration > 0 else float("nan")
     metrics.dvfs_switches = switches
+
+    if trace_writer is not None:
+        if metrics.completed == 0:
+            trace_writer.emit(
+                "run-warning",
+                t=ctx.engine.now,
+                warning="zero-completions",
+                message=(
+                    "run finished without completing any request; latency "
+                    "statistics are NaN and sla_met is False"
+                ),
+            )
+        trace_writer.emit("run-summary", t=ctx.engine.now, metrics=metrics.as_dict())
+    if obs is not None:
+        obs.flush()
 
     extras: Dict[str, Any] = {}
     if extras_fn is not None:

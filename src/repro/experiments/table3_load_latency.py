@@ -60,12 +60,14 @@ def run_table3(
     full: Optional[bool] = None,
     jobs: int = 1,
     result_cache: Optional["RunResultCache"] = None,
+    trace_dir: Optional[str] = None,
 ) -> Dict[str, Table3Row]:
     """Measure unmanaged p99 at each static load level.
 
     The (app x load) grid fans out over ``jobs`` worker processes — each
     cell is an independent simulation, so the results are bitwise identical
     to the serial loop — and ``result_cache`` skips cells already stored.
+    ``trace_dir`` writes a per-cell JSONL observability trace.
     """
     from ..parallel import RunSpec, run_grid
 
@@ -89,7 +91,7 @@ def run_table3(
                     label=f"table3-{profile.name}",
                 )
             )
-    outcomes = iter(run_grid(specs, jobs=jobs, cache=result_cache))
+    outcomes = iter(run_grid(specs, jobs=jobs, cache=result_cache, trace_dir=trace_dir))
 
     out: Dict[str, Table3Row] = {}
     for name in apps:
@@ -109,5 +111,10 @@ def render_table3(results: Dict[str, Table3Row]) -> str:
     headers = ["app", "SLA (ms)"] + [f"p99@{int(l*100)}% (ms)" for l in loads]
     rows = []
     for name, row in results.items():
-        rows.append([name, row.sla_ms] + [row.p99_ms[l] for l in loads])
+        # A degenerate cell (zero completions) carries NaN; show it as n/a
+        # rather than a number that sorts/plots as data.
+        rows.append(
+            [name, row.sla_ms]
+            + ["n/a" if v != v else v for v in (row.p99_ms[l] for l in loads)]
+        )
     return format_table(headers, rows, "{:.2f}")

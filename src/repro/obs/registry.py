@@ -1,0 +1,168 @@
+"""In-process metrics: counters, gauges and histograms with cheap snapshots.
+
+The registry is the aggregate side of the observability layer: instrumented
+code increments counters ("how many DRL steps / DVFS writes / RAPL
+glitches"), sets gauges ("current queue length"), and feeds histograms
+("agent.update wall seconds").  Everything is plain python arithmetic on
+``__slots__`` objects — an increment is one attribute add, and a
+``snapshot()`` is a dict copy — so instrumentation can stay enabled in
+long runs without touching the simulation hot paths.
+
+Histograms keep streaming moments (count / sum / sum-of-squares / min /
+max) instead of buckets: the consumers here want "how expensive was this
+span on average, and what was the worst case", not a latency CDF, and the
+streaming form makes ``observe()`` allocation-free.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import re
+from typing import Dict
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+_NAME_RE = re.compile(r"^[a-z0-9_.-]+$", re.IGNORECASE)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only go up; use a Gauge for deltas")
+        self.value += n
+
+
+class Gauge:
+    """Last-written value (instantaneous level)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming moments of an observed quantity (no buckets)."""
+
+    __slots__ = ("name", "count", "total", "sq_total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.sq_total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        self.count += 1
+        self.total += v
+        self.sq_total += v * v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    @property
+    def stddev(self) -> float:
+        if self.count < 2:
+            return float("nan")
+        var = self.sq_total / self.count - self.mean**2
+        return math.sqrt(max(var, 0.0))
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "stddev": self.stddev,
+            "min": self.min if self.count else float("nan"),
+            "max": self.max if self.count else float("nan"),
+        }
+
+
+class MetricsRegistry:
+    """Name-addressed store of counters/gauges/histograms.
+
+    ``counter`` / ``gauge`` / ``histogram`` get-or-create, so instrumented
+    code can grab its handles once at construction time and pay only the
+    arithmetic afterwards.  Requesting an existing name as a different
+    metric type raises — a registry-wide name is one metric.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+
+    def _get(self, name: str, cls):
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        m = self._metrics.get(name)
+        if m is None:
+            m = cls(name)
+            self._metrics[name] = m
+        elif not isinstance(m, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {type(m).__name__}"
+            )
+        return m
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    # --------------------------------------------------------------- snapshots
+
+    def snapshot(self) -> dict:
+        """Point-in-time copy: ``{"counters": {...}, "gauges": {...},
+        "histograms": {...}}`` with plain-python values throughout."""
+        out = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name, m in sorted(self._metrics.items()):
+            if isinstance(m, Counter):
+                out["counters"][name] = m.value
+            elif isinstance(m, Gauge):
+                out["gauges"][name] = m.value
+            else:
+                out["histograms"][name] = m.as_dict()  # type: ignore[union-attr]
+        return out
+
+    def dump(self, path: str) -> None:
+        """Write :meth:`snapshot` as JSON (atomic: temp file + replace)."""
+        tmp = path + ".tmp"
+        with open(tmp, "w") as f:
+            json.dump(self.snapshot(), f, indent=2, sort_keys=True)
+            f.write("\n")
+        os.replace(tmp, path)
+
+    def reset(self) -> None:
+        """Drop every registered metric (tests / episode boundaries)."""
+        self._metrics.clear()

@@ -1,0 +1,74 @@
+"""Span-style wall-clock timing for profiling the control loops.
+
+A *span* is a named region of real (not simulated) time: the engine's
+``run_until`` loop, one ``agent.update()`` batch, one
+``ThreadController.tick()``.  :class:`SpanRecorder` aggregates every
+entry into streaming stats per name — recording is two
+``time.perf_counter()`` calls and one method call, cheap enough for the
+1 ms controller tick when profiling is requested, and *absent entirely*
+when it is not (instrumented code holds ``spans = None`` by default and
+skips the calls).
+
+Use the :meth:`SpanRecorder.span` context manager at coarse call sites
+and the explicit ``perf_counter`` + :meth:`SpanRecorder.record` pair on
+hot paths where the generator overhead of a context manager would tax
+the measurement.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, List
+
+__all__ = ["SpanRecorder"]
+
+
+class SpanRecorder:
+    """Aggregates named wall-clock spans into count/total/max stats."""
+
+    __slots__ = ("_stats",)
+
+    def __init__(self) -> None:
+        # name -> [count, total_seconds, max_seconds]
+        self._stats: Dict[str, List[float]] = {}
+
+    def record(self, name: str, seconds: float) -> None:
+        """Fold one timed region into the aggregate for ``name``."""
+        s = self._stats.get(name)
+        if s is None:
+            self._stats[name] = [1, seconds, seconds]
+            return
+        s[0] += 1
+        s[1] += seconds
+        if seconds > s[2]:
+            s[2] = seconds
+
+    @contextmanager
+    def span(self, name: str):
+        """Time a ``with`` block (coarse call sites only)."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(name, time.perf_counter() - t0)
+
+    # ------------------------------------------------------------------- views
+
+    def stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-name aggregates: count, total/mean/max seconds."""
+        out = {}
+        for name, (count, total, worst) in sorted(self._stats.items()):
+            out[name] = {
+                "count": int(count),
+                "total_s": total,
+                "mean_s": total / count if count else float("nan"),
+                "max_s": worst,
+            }
+        return out
+
+    def __len__(self) -> int:
+        return len(self._stats)
+
+    def reset(self) -> None:
+        self._stats.clear()

@@ -1,0 +1,158 @@
+"""Rebuild Fig 8-style per-interval tables from a run trace.
+
+The paper's Fig 8 reads DeepPower's behaviour as per-second time series:
+reward, chosen (BaseFreq, ScalingCoef), resulting average frequency,
+queue length and power.  A JSONL trace written with ``--trace-out``
+carries exactly those quantities in its ``drl-step`` and
+``controller-window`` events; :func:`summarize_trace` joins them back
+into one row per DRL interval, bit-identical to the in-memory
+:class:`~repro.core.runtime.StepRecord` history of the run that wrote
+the trace (floats round-trip exactly through JSON).
+
+``deeppower trace summarize <file>`` renders the table plus an event
+census and the run/episode summaries found in the trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..analysis.reporting import format_table
+from .trace import read_trace
+
+__all__ = ["TraceSummary", "summarize_trace", "render_summary"]
+
+#: Columns of the per-interval table, in render order.
+INTERVAL_COLUMNS = (
+    "episode", "step", "t", "reward", "r_energy", "r_timeout", "r_queue",
+    "base_freq", "scaling_coef", "avg_freq", "queue_len", "rps", "power_w",
+    "ticks", "dvfs_switches",
+)
+
+
+@dataclass
+class TraceSummary:
+    """Everything :func:`summarize_trace` extracts from one trace file."""
+
+    path: str
+    meta: Dict[str, Any] = field(default_factory=dict)
+    #: Event-kind census over the whole file.
+    counts: Dict[str, int] = field(default_factory=dict)
+    #: One row per DRL interval (keys: :data:`INTERVAL_COLUMNS`).
+    intervals: List[Dict[str, Any]] = field(default_factory=list)
+    #: ``run-summary`` metric dicts, in order of appearance.
+    run_summaries: List[Dict[str, Any]] = field(default_factory=list)
+    #: ``episode-end`` stats, in order of appearance.
+    episodes: List[Dict[str, Any]] = field(default_factory=list)
+    #: ``run-warning`` events (degenerate runs surface here).
+    warnings: List[Dict[str, Any]] = field(default_factory=list)
+
+
+def summarize_trace(path: str, strict: bool = True) -> TraceSummary:
+    """Parse a trace and rebuild the per-interval table.
+
+    ``drl-step`` events provide reward/state/action/queue/power;
+    ``controller-window`` events (matched by episode + step) contribute
+    tick counts, window frequency stats and DVFS switch counts.
+    """
+    summary = TraceSummary(path=path)
+    episode: Optional[int] = None
+    # (episode, step) -> row, for joining controller windows onto steps.
+    by_step: Dict[tuple, Dict[str, Any]] = {}
+    for event in read_trace(path, strict=strict):
+        kind = event.get("kind", "?")
+        summary.counts[kind] = summary.counts.get(kind, 0) + 1
+        if kind == "trace-header":
+            summary.meta = event.get("meta", {})
+        elif kind == "episode-start":
+            episode = event.get("episode")
+        elif kind == "drl-step":
+            reward = event.get("reward") or {}
+            action = event.get("action") or [float("nan")] * 2
+            row = {
+                "episode": episode,
+                "step": event.get("step"),
+                "t": event.get("t"),
+                "reward": reward.get("total", float("nan")),
+                "r_energy": reward.get("energy", float("nan")),
+                "r_timeout": reward.get("timeout", float("nan")),
+                "r_queue": reward.get("queue", float("nan")),
+                "base_freq": action[0],
+                "scaling_coef": action[1],
+                "avg_freq": event.get("avg_freq"),
+                "queue_len": event.get("queue_len"),
+                "rps": event.get("rps"),
+                "power_w": event.get("power_w"),
+                "ticks": None,
+                "dvfs_switches": None,
+            }
+            summary.intervals.append(row)
+            by_step[(episode, event.get("step"))] = row
+        elif kind == "controller-window":
+            row = by_step.get((episode, event.get("step")))
+            if row is not None:
+                row["ticks"] = event.get("ticks")
+                row["dvfs_switches"] = event.get("dvfs_switches")
+        elif kind == "run-summary":
+            summary.run_summaries.append(event.get("metrics", {}))
+        elif kind == "episode-end":
+            summary.episodes.append(
+                {k: v for k, v in event.items() if k not in ("kind", "t")}
+            )
+        elif kind == "run-warning":
+            summary.warnings.append(event)
+    return summary
+
+
+def _cell(value: Any) -> Any:
+    return "-" if value is None else value
+
+
+def render_summary(
+    summary: TraceSummary,
+    limit: Optional[int] = None,
+    float_fmt: str = "{:.4f}",
+) -> str:
+    """Text rendering: census, warnings, per-interval table, episodes."""
+    lines = [f"trace: {summary.path}"]
+    if summary.meta:
+        lines.append("meta: " + ", ".join(f"{k}={v}" for k, v in sorted(summary.meta.items())))
+    lines.append(
+        "events: " + ", ".join(f"{k}={v}" for k, v in sorted(summary.counts.items()))
+    )
+    for w in summary.warnings:
+        lines.append(f"WARNING: {w.get('warning', '?')}: {w.get('message', '')}")
+    rows = summary.intervals
+    shown = rows if limit is None or len(rows) <= limit else rows[-limit:]
+    if shown:
+        if shown is not rows:
+            lines.append(f"(last {len(shown)} of {len(rows)} intervals)")
+        lines.append("")
+        lines.append(
+            format_table(
+                list(INTERVAL_COLUMNS),
+                [[_cell(r[c]) for c in INTERVAL_COLUMNS] for r in shown],
+                float_fmt,
+            )
+        )
+    else:
+        lines.append("(no drl-step events in trace)")
+    if summary.episodes:
+        headers = sorted(summary.episodes[0])
+        lines.append("")
+        lines.append("episodes:")
+        lines.append(
+            format_table(
+                headers,
+                [[_cell(e.get(h)) for h in headers] for e in summary.episodes],
+                float_fmt,
+            )
+        )
+    for m in summary.run_summaries:
+        lines.append("")
+        lines.append(
+            "run summary: "
+            + ", ".join(f"{k}={m[k]}" for k in sorted(m))
+        )
+    return "\n".join(lines)

@@ -1,0 +1,164 @@
+"""Schema-versioned JSONL run traces with buffered atomic writes.
+
+A trace is an append-only sequence of JSON events, one per line.  The
+first line is always a ``trace-header`` event carrying the schema version
+and free-form run metadata; every later event has a ``kind`` plus
+whatever fields its emitter chose (see EXPERIMENTS.md for the catalog:
+``drl-step``, ``controller-window``, ``rapl-window``, ``watchdog-trip``,
+``checkpoint``, ``run-summary``, ...).
+
+Durability discipline mirrors the checkpoint layer's: events are buffered
+in memory and written in batches to ``<path>.part``; :meth:`TraceWriter.close`
+flushes, fsyncs and ``os.replace``s the part file over the final name, so
+a finished trace file is always complete and a crash leaves at worst a
+``.part`` file that readers ignore (or can be inspected by hand — it is
+still line-delimited JSON).
+
+Floats are serialised with python's ``repr`` (via :mod:`json`), which
+round-trips ``float`` exactly — the trace-vs-in-memory equality the
+acceptance tests assert depends on this.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterator, List, Optional
+
+import numpy as np
+
+__all__ = ["TRACE_SCHEMA", "TraceError", "TraceWriter", "read_trace"]
+
+#: Bump when the event layout changes incompatibly.
+TRACE_SCHEMA = 1
+
+#: Events buffered before a batch write (keeps syscalls off the step path).
+DEFAULT_BUFFER_EVENTS = 256
+
+
+class TraceError(RuntimeError):
+    """Invalid trace usage or an unreadable/incompatible trace file."""
+
+
+def _jsonable(obj: Any):
+    """JSON fallback for the numpy types instrumented code hands us."""
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, np.generic):
+        return obj.item()
+    raise TypeError(f"cannot serialise {type(obj).__name__} into a trace event")
+
+
+class TraceWriter:
+    """Buffered JSONL event sink for one run (or one training session).
+
+    Parameters
+    ----------
+    path:
+        Final trace location.  Writes go to ``path + ".part"`` until
+        :meth:`close` atomically publishes the file.
+    meta:
+        Free-form JSON-able metadata stored in the header event (app,
+        policy, seed, profile, ...).
+    buffer_events:
+        Events accumulated before a batch write.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        meta: Optional[Dict[str, Any]] = None,
+        buffer_events: int = DEFAULT_BUFFER_EVENTS,
+    ) -> None:
+        if buffer_events <= 0:
+            raise ValueError("buffer_events must be positive")
+        self.path = str(path)
+        self.part_path = self.path + ".part"
+        self.buffer_events = int(buffer_events)
+        self.events_written = 0
+        self._buf: List[str] = []
+        self._closed = False
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        self._file = open(self.part_path, "w")
+        self.emit("trace-header", schema=TRACE_SCHEMA, meta=meta or {})
+
+    # ------------------------------------------------------------------ events
+
+    def emit(self, kind: str, t: Optional[float] = None, **fields: Any) -> None:
+        """Append one event.  ``t`` is the virtual (simulation) timestamp."""
+        if self._closed:
+            raise TraceError(f"emit on closed trace {self.path!r}")
+        event: Dict[str, Any] = {"kind": kind}
+        if t is not None:
+            event["t"] = float(t)
+        event.update(fields)
+        self._buf.append(json.dumps(event, default=_jsonable))
+        self.events_written += 1
+        if len(self._buf) >= self.buffer_events:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write buffered events to the part file (no fsync)."""
+        if self._buf:
+            self._file.write("\n".join(self._buf) + "\n")
+            self._buf.clear()
+            self._file.flush()
+
+    def close(self) -> None:
+        """Flush, fsync and atomically publish the trace (idempotent)."""
+        if self._closed:
+            return
+        self.flush()
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._file.close()
+        os.replace(self.part_path, self.path)
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_trace(path: str, strict: bool = True) -> Iterator[Dict[str, Any]]:
+    """Yield every event of a JSONL trace, header first.
+
+    With ``strict`` (default) the first event must be a ``trace-header``
+    whose schema is known; pass ``strict=False`` to inspect damaged or
+    in-progress (``.part``) files.
+    """
+    if not os.path.exists(path) and os.path.exists(path + ".part"):
+        # Convenience for crashed runs: fall back to the unpublished part
+        # file (complete lines only; json errors surface per-line below).
+        path = path + ".part"
+    with open(path) as f:
+        first = True
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if strict:
+                    raise TraceError(f"{path}:{lineno}: bad JSON ({exc})") from exc
+                return  # truncated tail of a crashed run
+            if first:
+                first = False
+                if strict:
+                    if event.get("kind") != "trace-header":
+                        raise TraceError(f"{path}: missing trace-header event")
+                    schema = event.get("schema")
+                    if schema != TRACE_SCHEMA:
+                        raise TraceError(
+                            f"{path}: unsupported trace schema {schema!r} "
+                            f"(this reader understands {TRACE_SCHEMA})"
+                        )
+            yield event

@@ -27,7 +27,14 @@ from .cache import (
     default_cache_root,
     resolve_cache,
 )
-from .grid import EXTRAS_COLLECTORS, GridOutcome, RunSpec, execute_run_spec, run_grid
+from .grid import (
+    EXTRAS_COLLECTORS,
+    GridOutcome,
+    RunSpec,
+    execute_run_spec,
+    grid_trace_path,
+    run_grid,
+)
 from .pool import ItemOutcome, ParallelMap, derive_seed, effective_jobs
 
 __all__ = [
@@ -43,6 +50,7 @@ __all__ = [
     "RunSpec",
     "GridOutcome",
     "run_grid",
+    "grid_trace_path",
     "execute_run_spec",
     "EXTRAS_COLLECTORS",
 ]

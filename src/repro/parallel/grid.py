@@ -16,8 +16,9 @@ Because every cell builds its own engine/RNG stack from the spec alone,
 
 from __future__ import annotations
 
+import os
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -34,6 +35,7 @@ __all__ = [
     "GridOutcome",
     "execute_run_spec",
     "run_grid",
+    "grid_trace_path",
     "EXTRAS_COLLECTORS",
     "GRID_POLICIES",
 ]
@@ -119,6 +121,11 @@ class RunSpec:
         Names from :data:`EXTRAS_COLLECTORS` to evaluate on the finished run.
     label:
         Free-form tag folded into the cache key (profile name etc.).
+    trace_out:
+        Write a JSONL observability trace of the cell here.  Deliberately
+        *excluded* from the cache key — the trace is a side artifact of
+        executing the cell, not part of its result — but a traced cell
+        always executes (a cache hit would produce no trace file).
     """
 
     app: str
@@ -132,6 +139,7 @@ class RunSpec:
     agent_seed: int = 7
     extras: Tuple[str, ...] = ()
     label: str = ""
+    trace_out: Optional[str] = None
 
     def cache_payload(self) -> dict:
         """Content entering the cache key (agent folded in by digest)."""
@@ -202,57 +210,75 @@ def execute_run_spec(spec: RunSpec) -> Tuple[RunMetrics, Dict[str, Any]]:
     must stay picklable and must derive *everything* from the spec.
     """
     from ..experiments.runner import run_policy
+    from ..obs import Observability
 
     app = get_app(spec.app)
     kwargs = dict(spec.policy_kwargs)
     extras_fn = _make_extras_fn(spec.extras)
+    obs = None
+    if spec.trace_out:
+        obs = Observability.from_paths(
+            trace_out=spec.trace_out,
+            meta={
+                "app": spec.app,
+                "policy": spec.policy,
+                "seed": spec.seed,
+                "num_cores": spec.num_cores,
+                "label": spec.label,
+            },
+        )
+    try:
+        if spec.policy == "deeppower":
+            if spec.agent_path is None:
+                raise ValueError("deeppower spec needs agent_path")
+            from ..core.training import evaluate_deeppower
+            from ..experiments.fig7_main import tuned_agent_setup
 
-    if spec.policy == "deeppower":
-        if spec.agent_path is None:
-            raise ValueError("deeppower spec needs agent_path")
-        from ..core.training import evaluate_deeppower
-        from ..experiments.fig7_main import tuned_agent_setup
+            agent, cfg = tuned_agent_setup(spec.agent_seed, app=app)
+            agent.load(spec.agent_path)
+            res = evaluate_deeppower(
+                agent,
+                app,
+                spec.trace,
+                num_cores=spec.num_cores,
+                seed=spec.seed,
+                config=cfg,
+                obs=obs,
+            )
+            # evaluate_deeppower's extras hold live runtime objects (engine,
+            # controller); re-derive only the picklable collectors requested.
+            extras: Dict[str, Any] = {}
+            if extras_fn is not None:
+                runtime = res.extras["runtime"]
+                ctx = _RuntimeCtx(runtime)
+                extras = extras_fn(ctx, runtime)
+            return res.metrics, extras
 
-        agent, cfg = tuned_agent_setup(spec.agent_seed, app=app)
-        agent.load(spec.agent_path)
-        res = evaluate_deeppower(
-            agent,
+        try:
+            factory = GRID_POLICIES[spec.policy]
+        except KeyError:
+            raise KeyError(
+                f"unknown grid policy {spec.policy!r}; "
+                f"available: {sorted(GRID_POLICIES) + ['deeppower']}"
+            ) from None
+
+        def driver_factory(ctx):
+            return factory(ctx, kwargs)
+
+        res = run_policy(
+            driver_factory,
             app,
             spec.trace,
-            num_cores=spec.num_cores,
+            spec.num_cores,
             seed=spec.seed,
-            config=cfg,
+            num_workers=spec.num_workers,
+            extras_fn=extras_fn,
+            obs=obs,
         )
-        # evaluate_deeppower's extras hold live runtime objects (engine,
-        # controller); re-derive only the picklable collectors requested.
-        extras: Dict[str, Any] = {}
-        if extras_fn is not None:
-            runtime = res.extras["runtime"]
-            ctx = _RuntimeCtx(runtime)
-            extras = extras_fn(ctx, runtime)
-        return res.metrics, extras
-
-    try:
-        factory = GRID_POLICIES[spec.policy]
-    except KeyError:
-        raise KeyError(
-            f"unknown grid policy {spec.policy!r}; "
-            f"available: {sorted(GRID_POLICIES) + ['deeppower']}"
-        ) from None
-
-    def driver_factory(ctx):
-        return factory(ctx, kwargs)
-
-    res = run_policy(
-        driver_factory,
-        app,
-        spec.trace,
-        spec.num_cores,
-        seed=spec.seed,
-        num_workers=spec.num_workers,
-        extras_fn=extras_fn,
-    )
-    return res.metrics, res.extras
+        return res.metrics, res.extras
+    finally:
+        if obs is not None:
+            obs.close()
 
 
 class _RuntimeCtx:
@@ -268,11 +294,19 @@ def _cell_worker(spec: RunSpec) -> Tuple[RunMetrics, Dict[str, Any]]:
     return execute_run_spec(spec)
 
 
+def grid_trace_path(trace_dir: str, spec: RunSpec, index: int) -> str:
+    """Canonical per-cell trace filename inside a grid ``trace_dir``."""
+    tag = spec.label or spec.policy
+    name = f"{index:03d}-{tag}-{spec.app}-seed{spec.seed}.trace.jsonl"
+    return os.path.join(trace_dir, name.replace(os.sep, "_"))
+
+
 def run_grid(
     specs: Sequence[RunSpec],
     jobs: int = 1,
     cache: Optional[RunResultCache] = None,
     warmup: Optional[Callable[[], None]] = _default_warmup,
+    trace_dir: Optional[str] = None,
 ) -> List[GridOutcome]:
     """Execute a grid of specs, in parallel and through the result cache.
 
@@ -282,15 +316,28 @@ def run_grid(
     results are unaffected and *not* cached-poisoned (errors are never
     stored).
 
+    With ``trace_dir`` set, every cell writes a JSONL observability trace
+    to ``grid_trace_path(trace_dir, spec, i)``.  Traced cells skip the
+    cache *read* (a hit would skip execution and leave no trace file) but
+    their results are still written back for untraced reruns.
+
     Outcomes are returned in spec order regardless of completion order.
     """
     specs = list(specs)
+    if trace_dir is not None:
+        os.makedirs(trace_dir, exist_ok=True)
+        specs = [
+            spec
+            if spec.trace_out
+            else replace(spec, trace_out=grid_trace_path(trace_dir, spec, i))
+            for i, spec in enumerate(specs)
+        ]
     outcomes: List[Optional[GridOutcome]] = [None] * len(specs)
     pending: List[Tuple[int, RunSpec, Optional[str]]] = []
 
     for i, spec in enumerate(specs):
         key = cache.key(spec.cache_payload()) if cache is not None else None
-        if cache is not None and key is not None:
+        if cache is not None and key is not None and not spec.trace_out:
             hit = cache.get(key)
             if hit is not None:
                 metrics, extras = hit

@@ -37,17 +37,33 @@ class RunMetrics:
 
     @property
     def timeout_rate(self) -> float:
-        """Fraction of completed requests exceeding the SLA."""
-        return self.timeouts / self.completed if self.completed else 0.0
+        """Fraction of completed requests exceeding the SLA.
+
+        NaN when nothing completed: a run that finished zero requests has
+        no timeout evidence either way, and 0.0 would read as "all met".
+        """
+        return self.timeouts / self.completed if self.completed else float("nan")
 
     @property
     def mean_tail_ratio(self) -> float:
-        """Fig 7c's mean/tail ratio (higher = less tail inflation)."""
-        return self.mean_latency / self.tail_latency if self.tail_latency else 0.0
+        """Fig 7c's mean/tail ratio (higher = less tail inflation).
+
+        NaN when the tail is zero or NaN — the ratio is undefined, and the
+        old 0.0 sorted such runs as "worst tail inflation" in comparisons.
+        """
+        return (
+            self.mean_latency / self.tail_latency
+            if self.tail_latency
+            else float("nan")
+        )
 
     @property
     def sla_met(self) -> bool:
-        """Paper QoS constraint: p99 latency within the SLA."""
+        """Paper QoS constraint: p99 latency within the SLA.
+
+        A zero-completion run carries NaN latencies, and ``nan <= sla`` is
+        False — such a run never counts as meeting its SLA.
+        """
         return self.tail_latency <= self.sla
 
     @property
@@ -115,26 +131,35 @@ class LatencyRecorder:
         return self.arrived - self.completed
 
     def tail_latency(self) -> float:
+        """Tail-quantile latency; NaN when nothing has completed."""
         if not self.latencies:
-            return 0.0
+            return float("nan")
         return float(np.quantile(self.latencies, self.tail_quantile))
 
     def mean_latency(self) -> float:
-        return float(np.mean(self.latencies)) if self.latencies else 0.0
+        """Mean latency; NaN when nothing has completed."""
+        return float(np.mean(self.latencies)) if self.latencies else float("nan")
 
     def summarize(self, duration: float) -> RunMetrics:
-        """Freeze into a :class:`RunMetrics` for a run of ``duration`` secs."""
+        """Freeze into a :class:`RunMetrics` for a run of ``duration`` secs.
+
+        A run with zero completions has *no* latency distribution: every
+        latency statistic is NaN (not 0.0, which would make the degenerate
+        run look like the best-possible one — ``sla_met`` True, perfect
+        quantiles) and ``timeout_rate`` is NaN too.
+        """
         lat = np.asarray(self.latencies) if self.latencies else np.zeros(0)
-        q = lambda p: float(np.quantile(lat, p)) if lat.size else 0.0
+        nan = float("nan")
+        q = lambda p: float(np.quantile(lat, p)) if lat.size else nan
         return RunMetrics(
             completed=self.completed,
             timeouts=self.timeouts,
-            mean_latency=float(lat.mean()) if lat.size else 0.0,
+            mean_latency=float(lat.mean()) if lat.size else nan,
             tail_latency=q(self.tail_quantile),
             p50_latency=q(0.5),
             p95_latency=q(0.95),
-            mean_service=float(np.mean(self.service_times)) if self.service_times else 0.0,
-            mean_queue_time=float(np.mean(self.queue_times)) if self.queue_times else 0.0,
+            mean_service=float(np.mean(self.service_times)) if self.service_times else nan,
+            mean_queue_time=float(np.mean(self.queue_times)) if self.queue_times else nan,
             sla=self.sla,
             duration=float(duration),
         )

@@ -15,6 +15,7 @@ Design notes
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 from typing import Any, Callable, Iterable
 
 from .events import PRIORITY_DEFAULT, EventHandle
@@ -61,6 +62,10 @@ class Engine:
         self._cancelled = 0
         self._processed = 0
         self._running = False
+        #: Optional :class:`~repro.obs.spans.SpanRecorder`; when attached,
+        #: the run loops time themselves under ``engine.run_until`` /
+        #: ``engine.run``.  None (the default) costs one branch per call.
+        self.spans = None
 
     # ------------------------------------------------------------------ clock
 
@@ -160,6 +165,7 @@ class Engine:
         if time < self._now:
             raise SimulationError(f"run_until({time!r}) is in the past (now={self._now!r})")
         self._guard_reentry()
+        t0 = perf_counter() if self.spans is not None else None
         try:
             # Inline peek + pop (this loop is the simulation's hot path):
             # skip cancelled entries, stop at the horizon, fire the rest.
@@ -182,12 +188,15 @@ class Engine:
                 cb(*cb_args)
         finally:
             self._running = False
+            if t0 is not None:
+                self.spans.record("engine.run_until", perf_counter() - t0)
         self._now = float(time)
 
     def run(self, max_events: int | None = None) -> int:
         """Run until the heap drains (or ``max_events``); returns events run."""
         self._guard_reentry()
         count = 0
+        t0 = perf_counter() if self.spans is not None else None
         try:
             while max_events is None or count < max_events:
                 if not self.step():
@@ -195,6 +204,8 @@ class Engine:
                 count += 1
         finally:
             self._running = False
+            if t0 is not None:
+                self.spans.record("engine.run", perf_counter() - t0)
         return count
 
     # ---------------------------------------------------------------- internal

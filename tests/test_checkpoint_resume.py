@@ -163,6 +163,34 @@ class TestNoiseRoundTrip:
                 n1.state_dict()
             )
 
+    def test_ou_step_decay_anneals_sigma(self):
+        # step_decay() used to be a silent no-op on the OU process.
+        n = OrnsteinUhlenbeckNoise(2, np.random.default_rng(0), sigma=0.8, decay=0.9, min_sigma=0.1)
+        for _ in range(5):
+            n.step_decay()
+        assert n.sigma == pytest.approx(0.8 * 0.9**5)
+        for _ in range(100):
+            n.step_decay()
+        assert n.sigma == 0.1  # floored at min_sigma
+        n.reset()
+        assert n.sigma == 0.8  # reset restores the initial schedule
+
+    def test_ou_restores_decayed_sigma(self):
+        n1 = OrnsteinUhlenbeckNoise(2, np.random.default_rng(0), sigma=0.8, decay=0.9)
+        for _ in range(10):
+            n1.sample()
+            n1.step_decay()
+        n2 = OrnsteinUhlenbeckNoise(2, np.random.default_rng(42), sigma=0.8, decay=0.9)
+        n2.load_state_dict(n1.state_dict())
+        assert n2.sigma == n1.sigma
+        assert n2.sigma0 == n1.sigma0 == 0.8
+        np.testing.assert_array_equal(n2._x, n1._x)
+
+    def test_ou_accepts_legacy_snapshot_without_sigma(self):
+        n = OrnsteinUhlenbeckNoise(2, np.random.default_rng(0), sigma=0.5)
+        n.load_state_dict({"x": np.zeros(2)})  # pre-annealing snapshot shape
+        assert n.sigma == 0.5
+
 
 class TestAgentRoundTrip:
     def _drive(self, agent, seed, k):

@@ -1,5 +1,6 @@
 """Assorted coverage: metrics views, training result helpers, renderers."""
 
+import math
 import numpy as np
 import pytest
 
@@ -29,11 +30,12 @@ def _metrics(**kw):
 class TestRunMetricsViews:
     def test_timeout_rate(self):
         assert _metrics().timeout_rate == pytest.approx(0.05)
-        assert _metrics(completed=0, timeouts=0).timeout_rate == 0.0
+        assert math.isnan(_metrics(completed=0, timeouts=0).timeout_rate)
 
     def test_mean_tail_ratio(self):
         assert _metrics().mean_tail_ratio == pytest.approx(0.2)
-        assert _metrics(tail_latency=0.0).mean_tail_ratio == 0.0
+        assert math.isnan(_metrics(tail_latency=0.0).mean_tail_ratio)
+        assert math.isnan(_metrics(tail_latency=float("nan")).mean_tail_ratio)
 
     def test_sla_met(self):
         assert _metrics(tail_latency=0.05, sla=0.06).sla_met

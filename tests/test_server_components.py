@@ -1,5 +1,7 @@
 """Tests for queue, metrics recorder and worker execution."""
 
+import math
+
 import numpy as np
 import pytest
 
@@ -118,9 +120,19 @@ class TestLatencyRecorder:
         rec.reset()
         assert rec.completed == 0 and rec.arrived == 0 and rec.latencies == []
 
-    def test_empty_summarize(self):
+    def test_empty_summarize_is_nan_not_perfect(self):
+        # A zero-completion run has no latency evidence: the old 0.0
+        # quantiles made it look like the best-possible run (sla_met True).
         m = LatencyRecorder(sla=1.0).summarize(1.0)
-        assert m.completed == 0 and m.tail_latency == 0.0 and m.timeout_rate == 0.0
+        assert m.completed == 0
+        assert math.isnan(m.tail_latency) and math.isnan(m.mean_latency)
+        assert math.isnan(m.p50_latency) and math.isnan(m.p95_latency)
+        assert math.isnan(m.timeout_rate)
+        assert not m.sla_met
+
+    def test_empty_recorder_queries_are_nan(self):
+        rec = LatencyRecorder(sla=1.0)
+        assert math.isnan(rec.tail_latency()) and math.isnan(rec.mean_latency())
 
 
 class TestWorker:

@@ -27,6 +27,15 @@ vectorised controller is slower than the legacy loop.  Machines differ, so
 the committed baseline is deliberately conservative; the vs-legacy ratio is
 measured in-process and is machine-independent.
 
+Fleet scaling (ISSUE 5)::
+
+    python benchmarks/bench_perf.py --fleet
+
+additionally times :class:`~repro.cluster.sim.ClusterSim` at 2/4/8 nodes
+(per-node load held constant) and records simulated node-seconds per wall
+second plus a scaling-efficiency ratio under the ``fleet`` key.
+Informational only — absolute throughput is machine-dependent.
+
 Observability overhead gate (ISSUE 4)::
 
     python benchmarks/bench_perf.py --obs-check
@@ -260,6 +269,48 @@ def bench_obs_overhead(
     }
 
 
+def bench_fleet(
+    node_counts=(2, 4, 8), cores_per_node: int = 2, duration: float = 20.0,
+    rps_per_worker: float = 60.0, seed: int = 3,
+) -> dict:
+    """Nodes-per-second scaling of :class:`~repro.cluster.sim.ClusterSim`.
+
+    One shared event heap serves the whole fleet, so the cost of a fleet
+    step grows with total event volume; this measures how simulated
+    node-seconds per wall second (``nodes * sim_duration / wall``) scale as
+    the fleet grows with per-node load held constant.  Informational — no
+    regression gate, machines differ too much — but recorded in
+    BENCH_perf.json so scaling cliffs show up in CI artifacts.
+    """
+    from repro.cluster import ClusterConfig, ClusterSim
+
+    rows = []
+    for n in node_counts:
+        trace = constant_trace(rps_per_worker * n * cores_per_node, duration)
+        config = ClusterConfig(
+            app="xapian", num_nodes=n, cores_per_node=cores_per_node,
+            policy="baseline", routing="round-robin", seed=seed,
+        )
+        t0 = time.perf_counter()
+        metrics = ClusterSim(config, trace).run()
+        wall = time.perf_counter() - t0
+        rows.append({
+            "nodes": n,
+            "cores_per_node": cores_per_node,
+            "sim_seconds": duration,
+            "wall_seconds": wall,
+            "requests": metrics.fleet.completed,
+            "node_seconds_per_wall_second": n * duration / wall,
+        })
+    base = rows[0]["node_seconds_per_wall_second"]
+    return {
+        "rows": rows,
+        # throughput at the largest fleet relative to the smallest; 1.0 =
+        # perfectly linear scaling in node count.
+        "scaling_efficiency": rows[-1]["node_seconds_per_wall_second"] / base,
+    }
+
+
 def _grid_specs(apps, num_cores: int, duration: float, seed: int):
     specs = []
     for name in apps:
@@ -340,6 +391,16 @@ def run_benchmarks(args) -> dict:
         "run_policy": rp,
         "grid": grid,
     }
+    if args.fleet:
+        print("[bench_perf] fleet nodes-per-second scaling ...")
+        fleet = bench_fleet(duration=args.duration)
+        for row in fleet["rows"]:
+            print(
+                f"  {row['nodes']} nodes: {row['wall_seconds']:.2f}s wall, "
+                f"{row['node_seconds_per_wall_second']:.1f} node-s/s"
+            )
+        print(f"  scaling efficiency {fleet['scaling_efficiency']:.2f}")
+        result["fleet"] = fleet
     if args.obs_check:
         print("[bench_perf] observability overhead A/B (median of 5 paired rounds) ...")
         obs = bench_obs_overhead(duration=args.duration)
@@ -419,6 +480,9 @@ def main(argv=None) -> int:
                    help="where to write the JSON report")
     p.add_argument("--check", action="store_true",
                    help="exit 1 on perf regression vs the committed baseline")
+    p.add_argument("--fleet", action="store_true",
+                   help="also measure cluster-sim nodes-per-second scaling "
+                        "(2/4/8 nodes, recorded in the JSON report)")
     p.add_argument("--obs-check", action="store_true",
                    help="also run the observability A/B; exit 1 when a "
                         "metrics-only handle costs more than "

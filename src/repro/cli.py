@@ -17,6 +17,12 @@ Train and save a DeepPower agent (with an observability trace)::
     deeppower train --app xapian --episodes 20 --out agent.npz \
         --trace-out run.trace.jsonl --metrics-out run.metrics.json
 
+Run an 8-node fleet under a global power cap and inspect it per node::
+
+    deeppower fleet --nodes 8 --policy retail --routing power-aware \
+        --power-cap auto --trace-out fleet.trace.jsonl
+    deeppower trace summarize fleet.trace.jsonl --group-by node
+
 Rebuild the per-interval (Fig 8-style) table from a trace::
 
     deeppower trace summarize run.trace.jsonl
@@ -25,9 +31,60 @@ Rebuild the per-interval (Fig 8-style) table from a trace::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .experiments.registry import get_experiment, list_experiments
+
+
+def _jobs_arg(value: str) -> int:
+    """argparse type for ``--jobs``: a worker count of at least 1."""
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"--jobs expects an integer, got {value!r}")
+    if jobs < 1:
+        raise argparse.ArgumentTypeError(f"--jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def _positive_int(value: str) -> int:
+    """argparse type for counts that must be at least 1."""
+    try:
+        n = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}")
+    if n < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {n}")
+    return n
+
+
+def _power_cap_arg(value: str):
+    """argparse type for ``--power-cap``: positive watts or ``auto``."""
+    if value == "auto":
+        return "auto"
+    try:
+        watts = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--power-cap expects watts or 'auto', got {value!r}"
+        )
+    if watts <= 0:
+        raise argparse.ArgumentTypeError(f"--power-cap must be positive, got {watts}")
+    return watts
+
+
+def _validate_resume(parser: argparse.ArgumentParser, args) -> None:
+    """``--resume`` needs an existing ``--checkpoint-dir`` to resume from."""
+    if not getattr(args, "resume", False):
+        return
+    ckpt = getattr(args, "checkpoint_dir", None)
+    if ckpt is None:
+        parser.error("--resume requires --checkpoint-dir")
+    if not os.path.isdir(ckpt):
+        parser.error(
+            f"--resume: checkpoint directory {ckpt!r} does not exist"
+        )
 
 
 def _cmd_list(args) -> int:
@@ -129,13 +186,107 @@ def _cmd_train(args) -> int:
     return 0
 
 
+def _cmd_fleet(args) -> int:
+    from .analysis.reporting import format_table
+    from .cluster import ClusterConfig, ClusterSim, fleet_power_budget, fleet_trace
+    from .experiments.fleet import FLEET_LOAD, fleet_dimensions
+    from .experiments.scenarios import active_profile, evaluation_trace
+    from .obs import Observability
+
+    profile = active_profile(args.full)
+    _, default_cores = fleet_dimensions(profile)
+    cores = args.cores if args.cores is not None else default_cores
+    seed = args.seed if args.seed is not None else profile.seed
+    load = args.load if args.load is not None else FLEET_LOAD
+    trace = fleet_trace(
+        evaluation_trace(profile), args.app, args.nodes, cores, load=load
+    )
+    cap = args.power_cap
+    if cap == "auto":
+        cap = fleet_power_budget(args.nodes, cores)
+    config = ClusterConfig(
+        app=args.app,
+        num_nodes=args.nodes,
+        cores_per_node=cores,
+        policy=args.policy,
+        routing=args.routing,
+        power_cap_watts=cap,
+        seed=seed,
+        agent_path=args.agent,
+    )
+    obs = None
+    if args.trace_out:
+        obs = Observability.from_paths(
+            trace_out=args.trace_out,
+            meta={
+                "kind": "fleet",
+                "app": args.app,
+                "policy": args.policy,
+                "routing": args.routing,
+                "num_nodes": args.nodes,
+                "seed": seed,
+            },
+        )
+    try:
+        metrics = ClusterSim(config, trace, obs=obs).run()
+    finally:
+        if obs is not None:
+            obs.close()
+
+    def _ms(seconds: float) -> float:
+        return seconds * 1e3
+
+    rows = []
+    for node, (m, routed) in enumerate(zip(metrics.node_metrics, metrics.routed)):
+        rows.append(
+            [node, routed, m.avg_power_watts, m.energy_joules, m.completed,
+             m.timeouts, _ms(m.p95_latency), _ms(m.tail_latency)]
+        )
+    f = metrics.fleet
+    rows.append(
+        ["fleet", sum(metrics.routed), f.avg_power_watts, f.energy_joules,
+         f.completed, f.timeouts, _ms(f.p95_latency), _ms(f.tail_latency)]
+    )
+    print(
+        f"fleet: {args.nodes} nodes x {cores} cores, app={args.app}, "
+        f"policy={args.policy}, routing={args.routing}, seed={seed}"
+    )
+    print(
+        format_table(
+            ["node", "routed", "power(W)", "energy(J)", "completed",
+             "timeouts", "p95(ms)", "p99(ms)"],
+            rows,
+            "{:.2f}",
+        )
+    )
+    if cap is not None:
+        verdict = "ok" if metrics.cap_ok else "EXCEEDED"
+        print(
+            f"power cap: budget={cap:.1f} W, "
+            f"peak window={metrics.max_window_power:.1f} W, "
+            f"throttled windows={metrics.throttled_windows} [{verdict}]"
+        )
+    if args.trace_out:
+        print(f"trace written to {args.trace_out}")
+    return 0
+
+
 def _cmd_trace(args) -> int:
-    from .obs import TraceError, render_summary, summarize_trace
+    from .obs import (
+        TraceError,
+        render_fleet_summary,
+        render_summary,
+        summarize_fleet_trace,
+        summarize_trace,
+    )
 
     if args.action != "summarize":
         print(f"unknown trace action {args.action!r}; try: summarize", file=sys.stderr)
         return 2
     try:
+        if args.group_by == "node":
+            print(render_fleet_summary(summarize_fleet_trace(args.file, strict=not args.lenient)))
+            return 0
         summary = summarize_trace(args.file, strict=not args.lenient)
     except (TraceError, OSError) as exc:
         print(f"cannot summarize {args.file}: {exc}", file=sys.stderr)
@@ -163,8 +314,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume from the newest valid snapshot in --checkpoint-dir",
     )
     sp.add_argument(
-        "--jobs", type=int, default=1,
-        help="fan independent runs over N worker processes (0 = all CPUs); "
+        "--jobs", type=_jobs_arg, default=1,
+        help="fan independent runs over N worker processes (N >= 1); "
         "results are bitwise identical to --jobs 1",
     )
     sp.add_argument(
@@ -196,7 +347,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="autosave full training state here (crash/kill safe)",
     )
     sp.add_argument(
-        "--checkpoint-every", type=int, default=1,
+        "--checkpoint-every", type=_positive_int, default=1,
         help="episodes between autosaves (default: every episode)",
     )
     sp.add_argument(
@@ -219,12 +370,60 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sp.set_defaults(fn=_cmd_train)
 
+    sp = sub.add_parser(
+        "fleet", help="run a multi-node cluster under one arrival stream"
+    )
+    sp.add_argument("--app", default="xapian")
+    sp.add_argument(
+        "--nodes", type=_positive_int, default=8,
+        help="number of simulated machines (default: 8)",
+    )
+    sp.add_argument(
+        "--cores", type=_positive_int, default=None,
+        help="cores per node (default: profile-sized)",
+    )
+    sp.add_argument(
+        "--policy", default="baseline",
+        help="per-node power policy: baseline, retail, gemini, deeppower",
+    )
+    sp.add_argument(
+        "--routing", default="round-robin",
+        choices=["round-robin", "jsq", "power-aware"],
+        help="dispatcher routing policy",
+    )
+    sp.add_argument(
+        "--power-cap", type=_power_cap_arg, default=None,
+        help="global fleet power budget in watts, or 'auto' for a budget at "
+        "70%% of the fleet's controllable range (default: uncapped)",
+    )
+    sp.add_argument(
+        "--load", type=float, default=None,
+        help="mean fleet utilisation the arrival trace is scaled to "
+        "(default: the fleet experiment's load)",
+    )
+    sp.add_argument("--seed", type=int, default=None, help="default: profile seed")
+    sp.add_argument(
+        "--agent", default=None,
+        help="trained agent .npz for --policy deeppower (default: untrained)",
+    )
+    sp.add_argument("--full", action="store_true", help="full-scale profile")
+    sp.add_argument(
+        "--trace-out", default=None,
+        help="write a node-tagged JSONL fleet trace here "
+        "(inspect with: deeppower trace summarize FILE --group-by node)",
+    )
+    sp.set_defaults(fn=_cmd_fleet)
+
     sp = sub.add_parser("trace", help="inspect a JSONL observability trace")
     sp.add_argument("action", help="what to do with the trace (summarize)")
     sp.add_argument("file", help="path to a .trace.jsonl file")
     sp.add_argument(
         "--limit", type=int, default=None,
         help="show only the last N per-interval rows",
+    )
+    sp.add_argument(
+        "--group-by", default=None, choices=["node"],
+        help="aggregate a fleet trace per node instead of per interval",
     )
     sp.add_argument(
         "--lenient", action="store_true",
@@ -236,7 +435,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    _validate_resume(parser, args)
     return args.fn(args)
 
 

@@ -1,0 +1,72 @@
+"""Cluster fleet simulation: many DeepPower-managed nodes behind a dispatcher.
+
+The paper manages one 20-core machine; a production deployment is a *fleet*
+of such machines behind a load balancer, sharing one arrival stream and one
+facility power budget.  This package adds that layer on top of the
+single-node stack without modifying it:
+
+* :class:`ClusterNode` — one simulated machine (its own
+  :class:`~repro.cpu.topology.Cpu`, :class:`~repro.server.server.Server`
+  and RAPL-style :class:`~repro.cpu.rapl.PowerMonitor`) running any
+  existing per-node power policy (a baseline or a frozen DeepPower agent),
+  all on one shared :class:`~repro.sim.engine.Engine` clock
+  (:mod:`repro.cluster.node`),
+* :class:`Dispatcher` + pluggable routers — round-robin, join-shortest-queue
+  and frequency-weighted power-aware routing splitting one shared arrival
+  stream across nodes (:mod:`repro.cluster.dispatch`),
+* :class:`PowerCapCoordinator` — apportions a global cluster power budget
+  across nodes every window from RAPL-style readings, throttling each
+  node's frequency ceiling (including turbo eligibility) and
+  redistributing headroom from idle nodes to loaded ones
+  (:mod:`repro.cluster.powercap`),
+* :class:`ClusterSim` / :class:`FleetSpec` — the fleet harness plus a
+  picklable grid cell so fleet experiments fan out through
+  :func:`repro.parallel.run_grid` exactly like single-node grids
+  (:mod:`repro.cluster.sim`).
+
+Fleet runs are seed-deterministic (one engine, per-node namespaced RNG
+streams) and emit ``node``-tagged observability events that
+``deeppower trace summarize --group-by node`` aggregates back into
+per-node and fleet-wide tables.
+"""
+
+from .dispatch import (
+    ROUTERS,
+    Dispatcher,
+    JoinShortestQueueRouter,
+    PowerAwareRouter,
+    RoundRobinRouter,
+)
+from .node import NODE_POLICIES, ClusterNode, NodeContext, build_node_driver
+from .powercap import CapWindow, FrequencyCap, PowerCapCoordinator
+from .sim import (
+    ClusterConfig,
+    ClusterSim,
+    FleetMetrics,
+    FleetSpec,
+    fleet_power_budget,
+    fleet_trace,
+    merge_run_metrics,
+)
+
+__all__ = [
+    "ClusterNode",
+    "NodeContext",
+    "NODE_POLICIES",
+    "build_node_driver",
+    "Dispatcher",
+    "RoundRobinRouter",
+    "JoinShortestQueueRouter",
+    "PowerAwareRouter",
+    "ROUTERS",
+    "PowerCapCoordinator",
+    "FrequencyCap",
+    "CapWindow",
+    "ClusterConfig",
+    "ClusterSim",
+    "FleetMetrics",
+    "FleetSpec",
+    "fleet_trace",
+    "fleet_power_budget",
+    "merge_run_metrics",
+]

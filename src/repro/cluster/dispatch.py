@@ -1,0 +1,151 @@
+"""Fleet dispatcher: split one arrival stream across nodes.
+
+The cluster plays a *single* diurnal RPS trace through one
+:class:`~repro.workload.arrivals.OpenLoopSource` whose sink is
+:meth:`Dispatcher.submit`; the dispatcher picks a node per request via a
+pluggable router.  Three routers cover the classic trade-off space:
+
+* :class:`RoundRobinRouter` — oblivious cycling; the fairness baseline.
+* :class:`JoinShortestQueueRouter` — classic JSQ on instantaneous backlog
+  (queued + in-service); near-optimal for homogeneous servers.
+* :class:`PowerAwareRouter` — backlog weighted by current worker-core
+  compute capacity (sum of GHz), so nodes the power-cap coordinator
+  throttled — or whose policy parked cores at low frequency — receive
+  proportionally less traffic.  This is the routing half of the
+  hierarchical dispatch + per-server power management split of Liu et
+  al.'s cloud resource-allocation framework.
+
+Routers are deterministic functions of observable node state (no RNG), so
+fleet runs stay seed-reproducible: same seed, same arrivals, same routing
+decisions.  Ties break toward the lowest node id.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from .node import ClusterNode
+
+__all__ = [
+    "Router",
+    "RoundRobinRouter",
+    "JoinShortestQueueRouter",
+    "PowerAwareRouter",
+    "ROUTERS",
+    "Dispatcher",
+]
+
+
+class Router:
+    """Routing policy: pick the node index for the next request."""
+
+    name = "abstract"
+
+    def select(self, nodes: Sequence[ClusterNode]) -> int:
+        raise NotImplementedError
+
+
+class RoundRobinRouter(Router):
+    """Cycle through nodes in id order, one request each."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def select(self, nodes: Sequence[ClusterNode]) -> int:
+        idx = self._next
+        self._next = (idx + 1) % len(nodes)
+        return idx
+
+
+class JoinShortestQueueRouter(Router):
+    """Send each request to the node with the smallest backlog.
+
+    Backlog counts queued *and* in-service requests — plain queue length
+    would read an all-workers-busy, empty-queue node as idle.
+    """
+
+    name = "jsq"
+
+    def select(self, nodes: Sequence[ClusterNode]) -> int:
+        best, best_load = 0, None
+        for i, node in enumerate(nodes):
+            load = node.backlog()
+            if best_load is None or load < best_load:
+                best, best_load = i, load
+        return best
+
+
+class PowerAwareRouter(Router):
+    """JSQ weighted by each node's current frequency: argmin backlog/GHz.
+
+    The drain-time estimate for node ``i`` is ``(backlog_i + 1) /
+    capacity_i`` where capacity is the summed worker-core frequency — the
+    ``+ 1`` accounts for the request being routed, so an idle slow node
+    does not tie an idle fast one.  Nodes the coordinator throttled to a
+    low ceiling look slower and shed load to unthrottled siblings, which
+    is what lets a power-capped fleet keep tail latency: traffic follows
+    the watts.
+    """
+
+    name = "power-aware"
+
+    def select(self, nodes: Sequence[ClusterNode]) -> int:
+        best, best_cost = 0, None
+        for i, node in enumerate(nodes):
+            capacity = node.worker_capacity_ghz()
+            # A fully-parked node still drains eventually; keep the cost
+            # finite so it can be chosen once every alternative is worse.
+            cost = (node.backlog() + 1) / max(capacity, 1e-9)
+            if best_cost is None or cost < best_cost:
+                best, best_cost = i, cost
+        return best
+
+
+#: Routing-policy name -> zero-argument constructor.
+ROUTERS: Dict[str, Callable[[], Router]] = {
+    RoundRobinRouter.name: RoundRobinRouter,
+    JoinShortestQueueRouter.name: JoinShortestQueueRouter,
+    PowerAwareRouter.name: PowerAwareRouter,
+}
+
+
+def make_router(name: str) -> Router:
+    """Instantiate a router by registry name."""
+    try:
+        return ROUTERS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown routing policy {name!r}; available: {sorted(ROUTERS)}"
+        ) from None
+
+
+class Dispatcher:
+    """Route requests from one shared arrival stream onto fleet nodes.
+
+    ``submit`` is the sink handed to the fleet's
+    :class:`~repro.workload.arrivals.OpenLoopSource`; per-node routed
+    counts live on the nodes themselves (``node.routed``).
+    """
+
+    def __init__(self, nodes: Sequence[ClusterNode], router: Router) -> None:
+        if not nodes:
+            raise ValueError("dispatcher needs at least one node")
+        self.nodes: List[ClusterNode] = list(nodes)
+        self.router = router
+        self.dispatched = 0
+
+    def submit(self, req) -> None:
+        idx = self.router.select(self.nodes)
+        if not 0 <= idx < len(self.nodes):
+            raise IndexError(
+                f"router {self.router.name!r} selected node {idx} "
+                f"of {len(self.nodes)}"
+            )
+        self.dispatched += 1
+        self.nodes[idx].submit(req)
+
+    def routed_counts(self) -> List[int]:
+        """Requests routed to each node so far, in node-id order."""
+        return [node.routed for node in self.nodes]

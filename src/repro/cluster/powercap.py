@@ -1,0 +1,315 @@
+"""Fleet power capping: apportion a global budget across nodes.
+
+Data-center power is provisioned per rack/row, not per machine; a fleet
+must keep its *total* draw under a facility budget while individual nodes'
+policies chase their own latency/energy trade-offs.  The
+:class:`PowerCapCoordinator` closes that loop the way RAPL-based cluster
+managers do:
+
+1. every coordination window (one ``LongTime``) it reads each node's
+   RAPL-style cumulative energy counter and forms last-window average
+   power (read-only ``total_energy()`` deltas — it never advances the
+   per-node monitor windows the DeepPower reward calculators consume),
+2. it apportions the budget: each node's *demand* is its measured power
+   with a boost margin, floored at the node's all-idle-at-fmin draw and
+   capped at its all-busy-at-turbo draw; demands are scaled to the budget
+   when oversubscribed, and spare watts from idle nodes are redistributed
+   to nodes that can still use them (headroom redistribution),
+3. each node's power target becomes a *frequency ceiling*: the highest
+   DVFS level whose worst-case (all workers busy) node power fits the
+   target.  A ceiling below turbo revokes turbo eligibility; below fmax
+   it throttles the sustained range too.
+
+Ceilings are enforced by :class:`FrequencyCap`, which installs
+instance-level ``core.set_frequency`` overrides — the same mechanism the
+fault injectors use, which the batched
+:meth:`~repro.cpu.topology.Cpu.set_frequencies` path already detects and
+routes through — so *every* policy (baselines and the DeepPower thread
+controller alike) is capped without modification.
+
+Because ceilings are chosen against worst-case node power, the sum of
+per-node worst cases never exceeds the apportioned targets: steady-state
+fleet power stays within the budget whenever the budget is feasible at
+all (≥ the fleet's aggregate fmin floor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..cpu.core import Core
+from ..cpu.topology import Cpu
+from ..sim.engine import Engine, PeriodicTask
+from ..sim.events import PRIORITY_CONTROL
+from .node import ClusterNode
+
+__all__ = ["FrequencyCap", "CapWindow", "PowerCapCoordinator"]
+
+
+class FrequencyCap:
+    """Clamp every DVFS write on a socket to a movable frequency ceiling.
+
+    Installs an instance-level ``set_frequency`` override on each core
+    (chaining whatever override — e.g. a fault injector — is already
+    there).  The batched ``Cpu.set_frequencies`` fast path detects the
+    instance override and falls back to per-core calls, so the cap holds
+    on both the scalar and the vectorised path.
+    """
+
+    def __init__(self, cpu: Cpu) -> None:
+        self.cpu = cpu
+        self.ceiling = cpu.table.turbo
+        self._installed = False
+        self._wrapped: List[Tuple[Core, Optional[Any]]] = []
+
+    def install(self) -> None:
+        if self._installed:
+            return
+        self._installed = True
+        for core in self.cpu.cores:
+            prior = core.__dict__.get("set_frequency")
+            inner = core.set_frequency  # bound method or prior override
+
+            def capped(freq: float, *, quantize: bool = True, _inner=inner) -> float:
+                return _inner(min(freq, self.ceiling), quantize=quantize)
+
+            core.set_frequency = capped
+            self._wrapped.append((core, prior))
+
+    def uninstall(self) -> None:
+        if not self._installed:
+            return
+        self._installed = False
+        for core, prior in self._wrapped:
+            if prior is None:
+                del core.__dict__["set_frequency"]
+            else:
+                core.set_frequency = prior
+        self._wrapped.clear()
+
+    def set_ceiling(self, ceiling: float) -> None:
+        """Move the ceiling (a table level) and clamp cores already above it."""
+        self.ceiling = ceiling
+        for core in self.cpu.cores:
+            if core.frequency > ceiling:
+                core.set_frequency(ceiling)
+
+
+@dataclass(frozen=True)
+class CapWindow:
+    """One coordination window's readings and decisions."""
+
+    time: float
+    #: Measured last-window average power per node (W).
+    powers: Tuple[float, ...]
+    #: Apportioned power target per node (W).
+    targets: Tuple[float, ...]
+    #: Frequency ceiling applied per node (GHz, a table level).
+    ceilings: Tuple[float, ...]
+    budget_watts: float
+
+    @property
+    def total_power(self) -> float:
+        return float(sum(self.powers))
+
+
+class PowerCapCoordinator:
+    """Apportion ``budget_watts`` across fleet nodes every window.
+
+    Parameters
+    ----------
+    engine, nodes:
+        Shared clock and the fleet (each node carries its own monitor).
+    budget_watts:
+        Global cluster power budget (W).
+    window:
+        Coordination interval, seconds (the paper's ``LongTime`` scale).
+    boost:
+        Demand margin over measured power — a node asking for exactly its
+        last-window draw could never ramp up, so demand is
+        ``measured * boost`` before flooring/capping.
+    trace:
+        Optional :class:`~repro.obs.TraceWriter`; each window emits a
+        ``powercap-window`` event with per-node powers/targets/ceilings.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        nodes: Sequence[ClusterNode],
+        budget_watts: float,
+        window: float = 1.0,
+        boost: float = 1.25,
+        trace: Any = None,
+    ) -> None:
+        if budget_watts <= 0:
+            raise ValueError(f"budget_watts must be positive, got {budget_watts}")
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.engine = engine
+        self.nodes = list(nodes)
+        self.budget_watts = float(budget_watts)
+        self.window = float(window)
+        self.boost = float(boost)
+        self.trace = trace
+        self.caps = [FrequencyCap(n.cpu) for n in self.nodes]
+        # Worst-case (all workers busy) node power per DVFS level, per node:
+        # the ceiling decision compares targets against these.
+        self._level_power: List[np.ndarray] = []
+        self._levels: List[Tuple[float, ...]] = []
+        for n in self.nodes:
+            table, pm, cores = n.cpu.table, n.cpu.power_model, n.cpu.num_cores
+            levels = table.levels
+            worst = np.array(
+                [
+                    pm.socket_power(
+                        np.full(cores, lvl), np.ones(cores, dtype=bool)
+                    )
+                    for lvl in levels
+                ]
+            )
+            self._levels.append(levels)
+            self._level_power.append(worst)
+        self._floor = np.array([lp[0] for lp in self._level_power])
+        self._cap = np.array([lp[-1] for lp in self._level_power])
+        self._last_energy = np.zeros(len(self.nodes))
+        self._last_time = 0.0
+        self._task: Optional[PeriodicTask] = None
+        self.history: List[CapWindow] = []
+        #: Windows in which at least one node's ceiling was below turbo.
+        self.throttled_windows = 0
+
+    @property
+    def feasible(self) -> bool:
+        """Whether the budget covers the fleet's aggregate fmin floor."""
+        return float(self._floor.sum()) <= self.budget_watts
+
+    # ----------------------------------------------------------------- control
+
+    def start(self) -> None:
+        if self._task is not None:
+            raise RuntimeError("PowerCapCoordinator already started")
+        for cap in self.caps:
+            cap.install()
+        self._last_energy = np.array([n.monitor.total_energy() for n in self.nodes])
+        self._last_time = self.engine.now
+        # Run after the per-node policies' control tasks at shared
+        # timestamps so ceilings apply to the actions just taken.
+        self._task = self.engine.every(
+            self.window,
+            self._rebalance,
+            start_delay=self.window,
+            priority=PRIORITY_CONTROL + 2,
+        )
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+        for cap in self.caps:
+            cap.uninstall()
+
+    # ------------------------------------------------------------ coordination
+
+    def _rebalance(self) -> None:
+        energies = np.array([n.monitor.total_energy() for n in self.nodes])
+        now = self.engine.now
+        dt = now - self._last_time
+        if dt <= 0:  # pragma: no cover - periodic task guarantees dt > 0
+            return
+        powers = (energies - self._last_energy) / dt
+        self._last_energy = energies
+        self._last_time = now
+        targets = self.apportion(powers)
+        ceilings = []
+        for i, cap in enumerate(self.caps):
+            ceiling = self._ceiling_for(i, targets[i])
+            cap.set_ceiling(ceiling)
+            ceilings.append(ceiling)
+        turbo_lost = any(
+            c < self._levels[i][-1] for i, c in enumerate(ceilings)
+        )
+        if turbo_lost:
+            self.throttled_windows += 1
+        win = CapWindow(
+            time=now,
+            powers=tuple(float(p) for p in powers),
+            targets=tuple(float(t) for t in targets),
+            ceilings=tuple(ceilings),
+            budget_watts=self.budget_watts,
+        )
+        self.history.append(win)
+        if self.trace is not None:
+            self.trace.emit(
+                "powercap-window",
+                t=now,
+                powers=list(win.powers),
+                targets=list(win.targets),
+                ceilings=list(win.ceilings),
+                total_w=win.total_power,
+                budget_w=self.budget_watts,
+                throttled=turbo_lost,
+            )
+
+    def apportion(self, powers: np.ndarray) -> np.ndarray:
+        """Split the budget into per-node power targets (pure function).
+
+        Demand is measured power with the boost margin, clipped to each
+        node's [fmin-idle-floor, turbo-busy-cap] envelope.  Under-budget
+        demand leaves headroom, which is redistributed proportionally to
+        each node's remaining envelope (so a loaded node can ramp while
+        an idle one does not hoard watts it cannot use); over-budget
+        demand is scaled down proportionally above the floors.
+        """
+        powers = np.asarray(powers, dtype=float)
+        demand = np.clip(powers * self.boost, self._floor, self._cap)
+        total = float(demand.sum())
+        if total <= self.budget_watts:
+            spare = self.budget_watts - total
+            room = self._cap - demand
+            room_total = float(room.sum())
+            if room_total > 0 and spare > 0:
+                demand = demand + room * min(spare / room_total, 1.0)
+            return np.minimum(demand, self._cap)
+        floor_total = float(self._floor.sum())
+        if floor_total >= self.budget_watts:
+            # Infeasible budget: everyone pinned to the floor is the best
+            # the coordinator can do (ceilings land on fmin below).
+            return self._floor.copy()
+        scale = (self.budget_watts - floor_total) / (total - floor_total)
+        return self._floor + (demand - self._floor) * scale
+
+    def _ceiling_for(self, node_idx: int, target_watts: float) -> float:
+        """Highest DVFS level whose worst-case node power fits the target."""
+        worst = self._level_power[node_idx]
+        levels = self._levels[node_idx]
+        fit = np.nonzero(worst <= target_watts + 1e-9)[0]
+        if fit.size == 0:
+            return levels[0]
+        return levels[int(fit[-1])]
+
+    # ----------------------------------------------------------------- queries
+
+    def max_window_power(self, skip: int = 1) -> float:
+        """Peak measured fleet power over windows after ``skip`` warm-up
+        windows (the first window measures pre-coordination draw)."""
+        windows = self.history[skip:]
+        if not windows:
+            return float("nan")
+        return max(w.total_power for w in windows)
+
+    def mean_window_power(self, skip: int = 1) -> float:
+        windows = self.history[skip:]
+        if not windows:
+            return float("nan")
+        return float(np.mean([w.total_power for w in windows]))
+
+    def cap_ok(self, tolerance: float = 0.05, skip: int = 1) -> bool:
+        """Whether steady-state fleet power stayed within budget (+tolerance)."""
+        peak = self.max_window_power(skip=skip)
+        if not np.isfinite(peak):
+            return True
+        return peak <= self.budget_watts * (1.0 + tolerance)

@@ -1,0 +1,553 @@
+"""ClusterSim: N machines, one arrival stream, one power budget.
+
+The fleet harness mirrors :func:`repro.experiments.runner.run_policy` one
+level up: build the stack, play the trace, drain, summarise.  Everything
+lives on a *single* :class:`~repro.sim.engine.Engine` — one event heap,
+one clock — so a fleet run is exactly as deterministic as a single-node
+run: same seed, same arrivals, same routing decisions, same metrics,
+regardless of node count elsewhere in the process or of ``--jobs``.
+
+:class:`FleetSpec` is the picklable grid-cell form (the fleet analogue of
+:class:`~repro.parallel.grid.RunSpec`): it carries everything a worker
+process needs to rebuild and run the fleet, exposes the same
+``cache_payload()`` / ``label`` / ``trace_out`` surface, and executes via
+``spec.execute()`` — which is all :func:`repro.parallel.run_grid` needs,
+so routing × policy fleets fan out through the existing cached executor.
+
+Observability: with a trace writer attached, a fleet run emits
+``fleet-start``, per-window ``node-window`` events (tagged with a
+``node`` field), per-node ``node-summary`` events, ``powercap-window``
+events from the coordinator, and a final ``fleet-summary`` —
+``deeppower trace summarize --group-by node`` rebuilds the per-node /
+fleet-wide table from exactly these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..cpu.dvfs import DEFAULT_TABLE, FrequencyTable
+from ..cpu.power import DEFAULT_POWER_MODEL, PowerModel
+from ..server.metrics import LatencyRecorder, RunMetrics
+from ..sim.engine import Engine
+from ..sim.events import PRIORITY_CONTROL
+from ..sim.rng import RngRegistry
+from ..workload.apps import get_app
+from ..workload.arrivals import OpenLoopSource
+from ..workload.trace import WorkloadTrace
+from .dispatch import ROUTERS, Dispatcher, make_router
+from .node import NODE_POLICIES, ClusterNode, build_node_driver
+from .powercap import PowerCapCoordinator
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterSim",
+    "FleetMetrics",
+    "FleetSpec",
+    "fleet_trace",
+    "fleet_power_budget",
+    "merge_run_metrics",
+]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Static description of a fleet (everything but the workload trace)."""
+
+    app: str
+    num_nodes: int
+    cores_per_node: int
+    num_workers: Optional[int] = None
+    policy: str = "baseline"
+    policy_kwargs: Tuple[Tuple[str, Any], ...] = ()
+    routing: str = "round-robin"
+    #: Global fleet power budget (W); None disables the coordinator.
+    power_cap_watts: Optional[float] = None
+    cap_window: float = 1.0
+    cap_boost: float = 1.25
+    seed: int = 0
+    agent_path: Optional[str] = None
+    agent_seed: int = 7
+    keep_requests: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {self.num_nodes}")
+        if self.cores_per_node < 1:
+            raise ValueError(
+                f"cores_per_node must be >= 1, got {self.cores_per_node}"
+            )
+        if self.policy not in NODE_POLICIES:
+            raise ValueError(
+                f"unknown node policy {self.policy!r}; "
+                f"available: {sorted(NODE_POLICIES)}"
+            )
+        if self.routing not in ROUTERS:
+            raise ValueError(
+                f"unknown routing policy {self.routing!r}; "
+                f"available: {sorted(ROUTERS)}"
+            )
+        if self.power_cap_watts is not None and self.power_cap_watts <= 0:
+            raise ValueError(
+                f"power_cap_watts must be positive, got {self.power_cap_watts}"
+            )
+
+
+@dataclass
+class FleetMetrics:
+    """Summary of one fleet run (picklable: plain data only)."""
+
+    num_nodes: int
+    duration: float
+    #: Fleet-wide metrics over the merged latency distribution; energy and
+    #: DVFS switches are summed across nodes.
+    fleet: RunMetrics
+    #: Per-node metrics in node-id order.
+    node_metrics: List[RunMetrics]
+    #: Requests routed to each node, in node-id order.
+    routed: List[int]
+    power_cap_watts: Optional[float] = None
+    #: Peak / mean measured fleet power over steady-state cap windows (NaN
+    #: without a coordinator).
+    max_window_power: float = float("nan")
+    mean_window_power: float = float("nan")
+    throttled_windows: int = 0
+    #: Whether steady-state fleet power stayed within the cap (+5%);
+    #: vacuously True without a coordinator.
+    cap_ok: bool = True
+
+    @property
+    def routed_imbalance(self) -> float:
+        """Max/mean ratio of per-node routed counts (1.0 = perfectly even)."""
+        if not self.routed or sum(self.routed) == 0:
+            return float("nan")
+        mean = sum(self.routed) / len(self.routed)
+        return max(self.routed) / mean
+
+    def as_dict(self) -> dict:
+        return {
+            "num_nodes": self.num_nodes,
+            "duration": self.duration,
+            "fleet": self.fleet.as_dict(),
+            "node_metrics": [m.as_dict() for m in self.node_metrics],
+            "routed": list(self.routed),
+            "routed_imbalance": self.routed_imbalance,
+            "power_cap_watts": self.power_cap_watts,
+            "max_window_power": self.max_window_power,
+            "mean_window_power": self.mean_window_power,
+            "throttled_windows": self.throttled_windows,
+            "cap_ok": self.cap_ok,
+        }
+
+
+def merge_run_metrics(
+    recorders: Sequence[LatencyRecorder], sla: float, duration: float
+) -> RunMetrics:
+    """Fleet-wide metrics from per-node recorders (quantiles over the pool).
+
+    Concatenates the raw per-request samples rather than averaging node
+    quantiles — a p99 of averages is not the average's p99, and fleet SLA
+    compliance is defined over the full request population.
+    """
+    merged = LatencyRecorder(sla)
+    for rec in recorders:
+        merged.latencies.extend(rec.latencies)
+        merged.service_times.extend(rec.service_times)
+        merged.queue_times.extend(rec.queue_times)
+        merged.arrived += rec.arrived
+        merged.completed += rec.completed
+        merged.timeouts += rec.timeouts
+    return merged.summarize(duration)
+
+
+class ClusterSim:
+    """Build and run one fleet: nodes + dispatcher + coordinator + source.
+
+    Parameters
+    ----------
+    config:
+        The fleet description (:class:`ClusterConfig`).
+    trace:
+        The *shared* arrival-rate trace; one open-loop source plays it and
+        the dispatcher splits the stream across nodes.  Scale it for the
+        whole fleet (see :func:`fleet_trace`).
+    obs:
+        Optional :class:`~repro.obs.Observability`; the caller owns its
+        lifecycle (the sim flushes but never closes it).
+    table, power_model:
+        Shared DVFS table / power model for every node.
+    """
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        trace: WorkloadTrace,
+        obs: Any = None,
+        table: FrequencyTable = DEFAULT_TABLE,
+        power_model: PowerModel = DEFAULT_POWER_MODEL,
+    ) -> None:
+        self.config = config
+        self.trace = trace
+        self.obs = obs
+        self._trace_writer = obs.trace if obs is not None else None
+        self.app = get_app(config.app)
+        self.engine = Engine()
+        self.rngs = RngRegistry(config.seed)
+        self.nodes: List[ClusterNode] = [
+            ClusterNode(
+                self.engine,
+                i,
+                self.app,
+                config.cores_per_node,
+                num_workers=config.num_workers,
+                seed=config.seed,
+                table=table,
+                power_model=power_model,
+                keep_requests=config.keep_requests,
+            )
+            for i in range(config.num_nodes)
+        ]
+        self.router = make_router(config.routing)
+        self.dispatcher = Dispatcher(self.nodes, self.router)
+        self.drivers = [
+            build_node_driver(
+                node,
+                config.policy,
+                dict(config.policy_kwargs),
+                agent_path=config.agent_path,
+                agent_seed=config.agent_seed,
+            )
+            for node in self.nodes
+        ]
+        self.source = OpenLoopSource(
+            self.engine,
+            trace,
+            self.app.service,
+            self.app.sla,
+            self.dispatcher.submit,
+            self.rngs.get("arrivals"),
+        )
+        self.coordinator: Optional[PowerCapCoordinator] = None
+        if config.power_cap_watts is not None:
+            self.coordinator = PowerCapCoordinator(
+                self.engine,
+                self.nodes,
+                config.power_cap_watts,
+                window=config.cap_window,
+                boost=config.cap_boost,
+                trace=self._trace_writer,
+            )
+        # Per-node energy at the last telemetry window (node-window events).
+        self._win_energy = np.zeros(len(self.nodes))
+        self._win_time = 0.0
+
+    # -------------------------------------------------------------- telemetry
+
+    def _node_ceiling(self, idx: int) -> float:
+        if self.coordinator is not None:
+            return self.coordinator.caps[idx].ceiling
+        return self.nodes[idx].cpu.table.turbo
+
+    def _emit_node_windows(self) -> None:
+        tw = self._trace_writer
+        now = self.engine.now
+        dt = now - self._win_time
+        for i, node in enumerate(self.nodes):
+            energy = node.monitor.total_energy()
+            tw.emit(
+                "node-window",
+                t=now,
+                node=i,
+                power_w=(energy - self._win_energy[i]) / dt if dt > 0 else 0.0,
+                queue_len=node.queue_len(),
+                busy_workers=node.busy_workers(),
+                routed=node.routed,
+                completed=node.server.metrics.completed,
+                timeouts=node.server.metrics.timeouts,
+                ceiling=self._node_ceiling(i),
+            )
+            self._win_energy[i] = energy
+        self._win_time = now
+
+    # -------------------------------------------------------------------- run
+
+    def run(self, drain_grace: Optional[float] = None) -> FleetMetrics:
+        """Play the shared trace through the fleet and summarise.
+
+        Mirrors the single-node runner's protocol: power/energy accounting
+        closes at trace end, then an event-stepped drain (bounded by
+        ``drain_grace``, default ``10 * SLA``) lets in-flight requests
+        finish so their latencies count.
+        """
+        cfg = self.config
+        duration = self.trace.duration
+        tw = self._trace_writer
+        if tw is not None:
+            tw.emit(
+                "fleet-start",
+                t=self.engine.now,
+                app=cfg.app,
+                num_nodes=cfg.num_nodes,
+                cores_per_node=cfg.cores_per_node,
+                policy=cfg.policy,
+                routing=cfg.routing,
+                power_cap_watts=cfg.power_cap_watts,
+                seed=cfg.seed,
+                trace_duration=duration,
+            )
+        for driver in self.drivers:
+            if driver is not None and hasattr(driver, "start"):
+                driver.start()
+        if self.coordinator is not None:
+            self.coordinator.start()
+        window_task = None
+        if tw is not None:
+            self._win_energy = np.array(
+                [n.monitor.total_energy() for n in self.nodes]
+            )
+            self._win_time = self.engine.now
+            window_task = self.engine.every(
+                cfg.cap_window,
+                self._emit_node_windows,
+                start_delay=cfg.cap_window,
+                priority=PRIORITY_CONTROL + 3,
+            )
+        self.source.start()
+
+        self.engine.run_until(duration)
+
+        # Power accounting stops at trace end (paper convention: the
+        # workload window, not the drain tail).
+        node_energy = [n.monitor.total_energy() for n in self.nodes]
+        node_switches = [n.cpu.total_switches() for n in self.nodes]
+
+        grace = drain_grace if drain_grace is not None else 10.0 * self.app.sla
+        deadline = duration + grace
+        while any(n.server.drain_remaining() > 0 for n in self.nodes):
+            nxt = self.engine.next_event_time()
+            if nxt is None or nxt > deadline:
+                break
+            self.engine.step()
+
+        if window_task is not None:
+            window_task.stop()
+        if self.coordinator is not None:
+            self.coordinator.stop()
+        for driver in self.drivers:
+            if driver is not None and hasattr(driver, "stop"):
+                driver.stop()
+
+        node_metrics: List[RunMetrics] = []
+        for i, node in enumerate(self.nodes):
+            m = node.server.metrics.summarize(duration)
+            m.energy_joules = node_energy[i]
+            m.avg_power_watts = (
+                node_energy[i] / duration if duration > 0 else float("nan")
+            )
+            m.dvfs_switches = node_switches[i]
+            node_metrics.append(m)
+
+        fleet = merge_run_metrics(
+            [n.server.metrics for n in self.nodes], self.app.sla, duration
+        )
+        fleet.energy_joules = float(sum(node_energy))
+        fleet.avg_power_watts = (
+            fleet.energy_joules / duration if duration > 0 else float("nan")
+        )
+        fleet.dvfs_switches = int(sum(node_switches))
+
+        coord = self.coordinator
+        result = FleetMetrics(
+            num_nodes=cfg.num_nodes,
+            duration=duration,
+            fleet=fleet,
+            node_metrics=node_metrics,
+            routed=self.dispatcher.routed_counts(),
+            power_cap_watts=cfg.power_cap_watts,
+            max_window_power=coord.max_window_power() if coord else float("nan"),
+            mean_window_power=coord.mean_window_power() if coord else float("nan"),
+            throttled_windows=coord.throttled_windows if coord else 0,
+            cap_ok=coord.cap_ok() if coord else True,
+        )
+
+        if tw is not None:
+            if fleet.completed == 0:
+                tw.emit(
+                    "run-warning",
+                    t=self.engine.now,
+                    warning="zero-completions",
+                    message=(
+                        "fleet run finished without completing any request; "
+                        "latency statistics are NaN and sla_met is False"
+                    ),
+                )
+            for i, m in enumerate(node_metrics):
+                tw.emit(
+                    "node-summary",
+                    t=self.engine.now,
+                    node=i,
+                    routed=result.routed[i],
+                    metrics=m.as_dict(),
+                )
+            tw.emit(
+                "fleet-summary",
+                t=self.engine.now,
+                num_nodes=cfg.num_nodes,
+                routed=result.routed,
+                power_cap_watts=cfg.power_cap_watts,
+                max_window_power=result.max_window_power,
+                mean_window_power=result.mean_window_power,
+                throttled_windows=result.throttled_windows,
+                cap_ok=result.cap_ok,
+                metrics=fleet.as_dict(),
+            )
+        if self.obs is not None:
+            self.obs.flush()
+        return result
+
+
+# ---------------------------------------------------------------- grid cells
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """One (routing, policy) cell of a fleet grid — the fleet RunSpec.
+
+    Exposes the same surface :func:`repro.parallel.run_grid` consumes:
+    ``cache_payload()`` for the result cache, ``label`` / ``app`` /
+    ``policy`` / ``seed`` for trace naming, ``trace_out`` for per-cell
+    observability traces, and ``execute()`` for the pool worker.
+    """
+
+    app: str
+    policy: str
+    trace: WorkloadTrace
+    num_nodes: int
+    cores_per_node: int
+    seed: int
+    num_workers: Optional[int] = None
+    routing: str = "round-robin"
+    policy_kwargs: Tuple[Tuple[str, Any], ...] = ()
+    power_cap_watts: Optional[float] = None
+    cap_window: float = 1.0
+    cap_boost: float = 1.25
+    agent_path: Optional[str] = None
+    agent_seed: int = 7
+    label: str = ""
+    trace_out: Optional[str] = None
+
+    def cache_payload(self) -> dict:
+        from ..parallel.cache import file_digest
+
+        return {
+            "kind": "fleet-spec",
+            "app": self.app,
+            "policy": self.policy,
+            "routing": self.routing,
+            "trace_edges": self.trace.edges,
+            "trace_rates": self.trace.rates,
+            "num_nodes": self.num_nodes,
+            "cores_per_node": self.cores_per_node,
+            "num_workers": self.num_workers,
+            "seed": self.seed,
+            "policy_kwargs": list(self.policy_kwargs),
+            "power_cap_watts": self.power_cap_watts,
+            "cap_window": self.cap_window,
+            "cap_boost": self.cap_boost,
+            "agent_digest": file_digest(self.agent_path) if self.agent_path else None,
+            "agent_seed": self.agent_seed if self.agent_path else None,
+            "label": self.label,
+        }
+
+    def to_config(self) -> ClusterConfig:
+        return ClusterConfig(
+            app=self.app,
+            num_nodes=self.num_nodes,
+            cores_per_node=self.cores_per_node,
+            num_workers=self.num_workers,
+            policy=self.policy,
+            policy_kwargs=self.policy_kwargs,
+            routing=self.routing,
+            power_cap_watts=self.power_cap_watts,
+            cap_window=self.cap_window,
+            cap_boost=self.cap_boost,
+            seed=self.seed,
+            agent_path=self.agent_path,
+            agent_seed=self.agent_seed,
+        )
+
+    def execute(self) -> Tuple[FleetMetrics, Dict[str, Any]]:
+        """Build the fleet from scratch and run it (pool-worker entry)."""
+        from ..obs import Observability
+
+        obs = None
+        if self.trace_out:
+            obs = Observability.from_paths(
+                trace_out=self.trace_out,
+                meta={
+                    "app": self.app,
+                    "policy": self.policy,
+                    "routing": self.routing,
+                    "num_nodes": self.num_nodes,
+                    "seed": self.seed,
+                    "label": self.label,
+                },
+            )
+        try:
+            sim = ClusterSim(self.to_config(), self.trace, obs=obs)
+            metrics = sim.run()
+            return metrics, {}
+        finally:
+            if obs is not None:
+                obs.close()
+
+
+# ------------------------------------------------------------------- helpers
+
+def fleet_trace(
+    base_trace: WorkloadTrace,
+    app_name: str,
+    num_nodes: int,
+    workers_per_node: int,
+    load: float = 0.55,
+) -> WorkloadTrace:
+    """Scale a diurnal trace so the *fleet* runs at mean utilisation ``load``.
+
+    The single shared stream must carry ``num_nodes`` times the traffic a
+    one-node trace would: the mean rate targets ``load`` of the aggregate
+    worker capacity across the whole fleet.
+    """
+    app = get_app(app_name)
+    target = app.rps_for_load(load, num_nodes * workers_per_node)
+    return base_trace.scaled_to_mean(target)
+
+
+def fleet_power_budget(
+    num_nodes: int,
+    cores_per_node: int,
+    fraction: float = 0.7,
+    table: FrequencyTable = DEFAULT_TABLE,
+    power_model: PowerModel = DEFAULT_POWER_MODEL,
+) -> float:
+    """A deterministic cluster budget ``fraction`` of the way up the
+    fleet's controllable power range.
+
+    The range runs from the aggregate fmin floor (every core busy at the
+    lowest level — the least the coordinator can enforce) to the
+    worst-case all-busy turbo draw.  Interpolating keeps the budget
+    feasible for any ``fraction`` in (0, 1] regardless of how much the
+    uncontrollable package constant dominates small sockets, while
+    ``fraction < 1`` guarantees the cap bites under turbo-happy policies.
+    """
+    if not 0 < fraction <= 1:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    busy = np.ones(cores_per_node, dtype=bool)
+    floor = num_nodes * power_model.socket_power(
+        np.full(cores_per_node, table.fmin), busy
+    )
+    worst_turbo = num_nodes * power_model.socket_power(
+        np.full(cores_per_node, table.turbo), busy
+    )
+    return float(floor + fraction * (worst_turbo - floor))

@@ -28,6 +28,7 @@ from .fig8_timeseries import render_fig8, run_fig8
 from .fig9_10_freq_traces import render_freq_traces, run_freq_traces
 from .fig11_fixed_params import render_fig11, run_fig11
 from .fault_tolerance import render_fault_tolerance, run_fault_tolerance
+from .fleet import render_fleet, run_fleet
 from .overhead import render_overhead, run_overhead
 from .robustness import render_robustness, run_mmpp_robustness
 from .table2_inference import render_table2, run_table2
@@ -136,6 +137,7 @@ REGISTRY: Dict[str, Experiment] = {
         Experiment("ablation-shorttime", "controller tick granularity sweep", run_short_time_sweep, _render_dicts),
         Experiment("robustness-mmpp", "policies under flash-crowd (MMPP) arrivals", run_mmpp_robustness, render_robustness),
         Experiment("fault-tolerance", "policies under injected sensor/actuator faults", run_fault_tolerance, render_fault_tolerance),
+        Experiment("fleet", "cluster fleet: routing x power policy grid under a global power cap", run_fleet, render_fleet),
     ]
 }
 

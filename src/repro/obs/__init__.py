@@ -29,7 +29,14 @@ from typing import Any, Dict, Optional
 
 from .registry import Counter, Gauge, Histogram, MetricsRegistry
 from .spans import SpanRecorder
-from .summarize import TraceSummary, render_summary, summarize_trace
+from .summarize import (
+    FleetTraceSummary,
+    TraceSummary,
+    render_fleet_summary,
+    render_summary,
+    summarize_fleet_trace,
+    summarize_trace,
+)
 from .trace import TRACE_SCHEMA, TraceError, TraceWriter, read_trace
 
 __all__ = [
@@ -45,6 +52,9 @@ __all__ = [
     "TraceSummary",
     "summarize_trace",
     "render_summary",
+    "FleetTraceSummary",
+    "summarize_fleet_trace",
+    "render_fleet_summary",
     "Observability",
 ]
 

@@ -21,7 +21,14 @@ from typing import Any, Dict, List, Optional
 from ..analysis.reporting import format_table
 from .trace import read_trace
 
-__all__ = ["TraceSummary", "summarize_trace", "render_summary"]
+__all__ = [
+    "TraceSummary",
+    "summarize_trace",
+    "render_summary",
+    "FleetTraceSummary",
+    "summarize_fleet_trace",
+    "render_fleet_summary",
+]
 
 #: Columns of the per-interval table, in render order.
 INTERVAL_COLUMNS = (
@@ -154,5 +161,183 @@ def render_summary(
         lines.append(
             "run summary: "
             + ", ".join(f"{k}={m[k]}" for k in sorted(m))
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------- fleet view
+
+@dataclass
+class FleetTraceSummary:
+    """Per-node / fleet-wide aggregation of a node-tagged fleet trace."""
+
+    path: str
+    meta: Dict[str, Any] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+    #: The ``fleet-start`` event (fleet dimensions, policy, routing, cap).
+    fleet_start: Dict[str, Any] = field(default_factory=dict)
+    #: One aggregated row per node id, sorted by node.
+    nodes: List[Dict[str, Any]] = field(default_factory=list)
+    #: Fleet-wide row (from ``fleet-summary``), empty if the trace is
+    #: truncated before run end.
+    fleet: Dict[str, Any] = field(default_factory=dict)
+    #: Power-cap coordination stats (empty when the run was uncapped).
+    powercap: Dict[str, Any] = field(default_factory=dict)
+    warnings: List[Dict[str, Any]] = field(default_factory=list)
+
+
+def _node_row_from_metrics(node: int, metrics: Dict[str, Any]) -> Dict[str, Any]:
+    return {
+        "node": node,
+        "energy_j": metrics.get("energy_joules"),
+        "power_w": metrics.get("avg_power_watts"),
+        "completed": metrics.get("completed"),
+        "timeouts": metrics.get("timeouts"),
+        "p95_ms": _scale_ms(metrics.get("p95_latency")),
+        "p99_ms": _scale_ms(metrics.get("tail_latency")),
+        "mean_tail_ratio": metrics.get("mean_tail_ratio"),
+        "sla_met": metrics.get("sla_met"),
+    }
+
+
+def _scale_ms(seconds: Any) -> Any:
+    return seconds * 1e3 if isinstance(seconds, (int, float)) else seconds
+
+
+def summarize_fleet_trace(path: str, strict: bool = True) -> FleetTraceSummary:
+    """Aggregate a fleet trace per node and fleet-wide.
+
+    Authoritative per-node rows come from ``node-summary`` events (energy,
+    p95/p99 tail latencies, SLA violations); for traces truncated before
+    run end (no summaries yet), rows are reconstructed from the last
+    ``node-window`` telemetry seen per node, with latency columns absent.
+    ``powercap-window`` events contribute budget-compliance stats.
+    """
+    summary = FleetTraceSummary(path=path)
+    windows: Dict[int, List[Dict[str, Any]]] = {}
+    node_rows: Dict[int, Dict[str, Any]] = {}
+    routed: Dict[int, Any] = {}
+    cap_totals: List[float] = []
+    cap_budget: Optional[float] = None
+    cap_throttled = 0
+    for event in read_trace(path, strict=strict):
+        kind = event.get("kind", "?")
+        summary.counts[kind] = summary.counts.get(kind, 0) + 1
+        if kind == "trace-header":
+            summary.meta = event.get("meta", {})
+        elif kind == "fleet-start":
+            summary.fleet_start = {
+                k: v for k, v in event.items() if k not in ("kind", "t")
+            }
+        elif kind == "node-window":
+            windows.setdefault(event.get("node"), []).append(event)
+        elif kind == "node-summary":
+            node = event.get("node")
+            node_rows[node] = _node_row_from_metrics(node, event.get("metrics", {}))
+            routed[node] = event.get("routed")
+        elif kind == "fleet-summary":
+            metrics = event.get("metrics", {})
+            summary.fleet = _node_row_from_metrics("fleet", metrics)
+            summary.fleet["routed"] = sum(event.get("routed", []) or [0])
+            summary.fleet["windows"] = None
+            if event.get("power_cap_watts") is not None:
+                for key, src in (
+                    ("budget_w", "power_cap_watts"),
+                    ("peak_w", "max_window_power"),
+                    ("mean_w", "mean_window_power"),
+                    ("throttled", "throttled_windows"),
+                    ("cap_ok", "cap_ok"),
+                ):
+                    summary.powercap[key] = event.get(src)
+        elif kind == "powercap-window":
+            cap_totals.append(event.get("total_w", float("nan")))
+            cap_budget = event.get("budget_w", cap_budget)
+            if event.get("throttled"):
+                cap_throttled += 1
+        elif kind == "run-warning":
+            summary.warnings.append(event)
+
+    node_ids = sorted(set(windows) | set(node_rows), key=lambda n: (n is None, n))
+    for node in node_ids:
+        row = node_rows.get(node)
+        if row is None:
+            # Truncated trace: fall back to the last telemetry window
+            # (counters there are cumulative).
+            last = windows[node][-1]
+            row = {
+                "node": node,
+                "energy_j": None,
+                "power_w": last.get("power_w"),
+                "completed": last.get("completed"),
+                "timeouts": last.get("timeouts"),
+                "p95_ms": None,
+                "p99_ms": None,
+                "mean_tail_ratio": None,
+                "sla_met": None,
+            }
+            routed.setdefault(node, last.get("routed"))
+        row["routed"] = routed.get(node)
+        row["windows"] = len(windows.get(node, []))
+        summary.nodes.append(row)
+
+    if cap_totals:
+        finite = [p for p in cap_totals if isinstance(p, float) and p == p]
+        summary.powercap["windows"] = len(cap_totals)
+        summary.powercap.setdefault("budget_w", cap_budget)
+        if finite:
+            summary.powercap.setdefault("peak_w", max(finite))
+            summary.powercap.setdefault("mean_w", sum(finite) / len(finite))
+        summary.powercap.setdefault("throttled", cap_throttled)
+    return summary
+
+
+#: Columns of the per-node table, in render order.
+NODE_COLUMNS = (
+    "node", "routed", "windows", "power_w", "energy_j", "completed",
+    "timeouts", "p95_ms", "p99_ms", "mean_tail_ratio", "sla_met",
+)
+
+
+def render_fleet_summary(
+    summary: FleetTraceSummary, float_fmt: str = "{:.2f}"
+) -> str:
+    """Text rendering: fleet header, per-node table + fleet row, cap stats."""
+    lines = [f"trace: {summary.path}"]
+    if summary.meta:
+        lines.append(
+            "meta: " + ", ".join(f"{k}={v}" for k, v in sorted(summary.meta.items()))
+        )
+    lines.append(
+        "events: " + ", ".join(f"{k}={v}" for k, v in sorted(summary.counts.items()))
+    )
+    if summary.fleet_start:
+        lines.append(
+            "fleet: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(summary.fleet_start.items()))
+        )
+    for w in summary.warnings:
+        lines.append(f"WARNING: {w.get('warning', '?')}: {w.get('message', '')}")
+    rows = list(summary.nodes)
+    if summary.fleet:
+        rows.append(summary.fleet)
+    if not rows:
+        lines.append(
+            "(no node-tagged events in trace; was this a fleet run? "
+            "try plain `trace summarize`)"
+        )
+        return "\n".join(lines)
+    lines.append("")
+    lines.append(
+        format_table(
+            list(NODE_COLUMNS),
+            [[_cell(r.get(c)) for c in NODE_COLUMNS] for r in rows],
+            float_fmt,
+        )
+    )
+    if summary.powercap:
+        pc = summary.powercap
+        lines.append("")
+        lines.append(
+            "powercap: " + ", ".join(f"{k}={v}" for k, v in sorted(pc.items()))
         )
     return "\n".join(lines)

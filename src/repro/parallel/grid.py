@@ -141,6 +141,16 @@ class RunSpec:
     label: str = ""
     trace_out: Optional[str] = None
 
+    def execute(self) -> Tuple[RunMetrics, Dict[str, Any]]:
+        """Run this cell from scratch (the generic spec protocol).
+
+        ``run_grid`` accepts *any* spec object exposing ``execute()`` /
+        ``cache_payload()`` / ``label`` / ``trace_out`` — e.g. the fleet's
+        :class:`~repro.cluster.sim.FleetSpec` — so new grid shapes reuse
+        the pool + cache machinery without touching it.
+        """
+        return execute_run_spec(self)
+
     def cache_payload(self) -> dict:
         """Content entering the cache key (agent folded in by digest)."""
         return {
@@ -290,8 +300,10 @@ class _RuntimeCtx:
         self.engine = runtime.engine
 
 
-def _cell_worker(spec: RunSpec) -> Tuple[RunMetrics, Dict[str, Any]]:
-    return execute_run_spec(spec)
+def _cell_worker(spec) -> Tuple[Any, Dict[str, Any]]:
+    # Dispatch through the spec protocol so non-RunSpec cells (FleetSpec)
+    # execute themselves; must stay module-level for pickling.
+    return spec.execute()
 
 
 def grid_trace_path(trace_dir: str, spec: RunSpec, index: int) -> str:

@@ -5,6 +5,76 @@ import pytest
 from repro.cli import build_parser, main
 
 
+class TestValidation:
+    def test_jobs_must_be_positive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig5", "--jobs", "0"])
+        assert "--jobs must be >= 1" in capsys.readouterr().err
+
+    def test_jobs_must_be_integer(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig5", "--jobs", "many"])
+        assert "expects an integer" in capsys.readouterr().err
+
+    def test_checkpoint_every_rejects_negative(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["train", "--checkpoint-every", "-1"])
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_resume_requires_checkpoint_dir(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["train", "--resume"])
+        assert "--resume requires --checkpoint-dir" in capsys.readouterr().err
+
+    def test_resume_rejects_missing_dir(self, capsys, tmp_path):
+        missing = str(tmp_path / "nope")
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig5", "--resume", "--checkpoint-dir", missing])
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_resume_accepts_existing_dir(self, capsys, tmp_path):
+        assert main(
+            ["experiment", "fig5", "--resume", "--checkpoint-dir", str(tmp_path)]
+        ) == 0
+
+    def test_power_cap_rejects_nonpositive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fleet", "--power-cap", "-5"])
+        assert "must be positive" in capsys.readouterr().err
+
+    def test_power_cap_rejects_garbage(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fleet", "--power-cap", "lots"])
+        assert "watts or 'auto'" in capsys.readouterr().err
+
+    def test_fleet_nodes_must_be_positive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fleet", "--nodes", "0"])
+        assert "must be >= 1" in capsys.readouterr().err
+
+
+class TestFleetCommand:
+    def test_fleet_run_and_group_by_node_round_trip(self, capsys, tmp_path):
+        trace = str(tmp_path / "fleet.trace.jsonl")
+        assert main([
+            "fleet", "--nodes", "2", "--policy", "baseline",
+            "--routing", "power-aware", "--power-cap", "auto",
+            "--trace-out", trace,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fleet: 2 nodes" in out
+        assert "power cap: budget=" in out and "[ok]" in out
+        assert main(["trace", "summarize", trace, "--group-by", "node"]) == 0
+        out = capsys.readouterr().out
+        assert "node-summary=2" in out
+        assert "powercap: budget_w=" in out
+
+    def test_group_by_rejects_unknown_key(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["trace", "summarize", "x.jsonl", "--group-by", "core"])
+        assert "invalid choice" in capsys.readouterr().err
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,143 @@
+"""Tests for cluster nodes, routers and the dispatcher."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.dispatch import (
+    Dispatcher,
+    JoinShortestQueueRouter,
+    PowerAwareRouter,
+    RoundRobinRouter,
+    make_router,
+)
+from repro.cluster.node import ClusterNode, build_node_driver
+from repro.parallel.pool import derive_seed
+from repro.sim.engine import Engine
+from repro.workload.apps import get_app
+from repro.workload.request import Request
+
+
+def _fleet(n=3, cores=2, seed=5, app_name="xapian"):
+    engine = Engine()
+    app = get_app(app_name)
+    nodes = [ClusterNode(engine, i, app, cores, seed=seed) for i in range(n)]
+    return engine, app, nodes
+
+
+def _request(req_id, t=0.0, work=1.0, sla=0.08):
+    return Request(
+        req_id=req_id, arrival_time=t, work=work,
+        features=np.zeros(3), sla=sla,
+    )
+
+
+class TestRouters:
+    def test_round_robin_cycles(self):
+        _, _, nodes = _fleet(3)
+        router = RoundRobinRouter()
+        picks = [router.select(nodes) for _ in range(7)]
+        assert picks == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_jsq_picks_smallest_backlog(self):
+        _, _, nodes = _fleet(3)
+        router = JoinShortestQueueRouter()
+        nodes[0].submit(_request(1))
+        nodes[0].submit(_request(2))
+        nodes[1].submit(_request(3))
+        # backlogs: node0=2, node1=1, node2=0
+        assert router.select(nodes) == 2
+
+    def test_jsq_ties_break_to_lowest_id(self):
+        _, _, nodes = _fleet(3)
+        assert JoinShortestQueueRouter().select(nodes) == 0
+
+    def test_power_aware_prefers_faster_node(self):
+        _, _, nodes = _fleet(2)
+        router = PowerAwareRouter()
+        # Equal (zero) backlog: throttle node 0's worker cores to fmin,
+        # leave node 1 at a high level -> node 1 wins on capacity.
+        table = nodes[0].cpu.table
+        for core in nodes[0].cpu.cores:
+            core.set_frequency(table.fmin)
+        for core in nodes[1].cpu.cores:
+            core.set_frequency(table.fmax)
+        assert router.select(nodes) == 1
+
+    def test_power_aware_sheds_from_backlogged_node(self):
+        _, _, nodes = _fleet(2)
+        router = PowerAwareRouter()
+        for i in range(4):
+            nodes[0].submit(_request(i))
+        assert router.select(nodes) == 1
+
+    def test_make_router_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown routing policy"):
+            make_router("random")
+
+
+class TestDispatcher:
+    def test_counts_and_routing(self):
+        _, _, nodes = _fleet(2)
+        disp = Dispatcher(nodes, RoundRobinRouter())
+        for i in range(5):
+            disp.submit(_request(i))
+        assert disp.dispatched == 5
+        assert disp.routed_counts() == [3, 2]
+        assert [n.routed for n in nodes] == [3, 2]
+
+    def test_requires_nodes(self):
+        with pytest.raises(ValueError, match="at least one node"):
+            Dispatcher([], RoundRobinRouter())
+
+    def test_bad_router_index_raises(self):
+        class Broken(RoundRobinRouter):
+            def select(self, nodes):
+                return len(nodes)
+
+        _, _, nodes = _fleet(2)
+        disp = Dispatcher(nodes, Broken())
+        with pytest.raises(IndexError, match="selected node 2"):
+            disp.submit(_request(0))
+
+
+class TestClusterNode:
+    def test_seed_namespaced_by_node_id(self):
+        _, _, nodes = _fleet(3, seed=9)
+        seeds = {n.seed for n in nodes}
+        assert len(seeds) == 3
+        assert nodes[1].seed == derive_seed(9, "node", 1)
+        # Node k's world does not depend on fleet size.
+        _, _, bigger = _fleet(5, seed=9)
+        assert bigger[1].seed == nodes[1].seed
+
+    def test_backlog_counts_queued_and_in_service(self):
+        engine, _, nodes = _fleet(1, cores=1)
+        node = nodes[0]
+        for i in range(3):
+            node.submit(_request(i))
+        engine.run_until(1e-4)  # let a worker pick up the head
+        assert node.busy_workers() == 1
+        assert node.backlog() == node.queue_len() + node.busy_workers() == 3
+
+    def test_worker_capacity_tracks_frequency(self):
+        _, _, nodes = _fleet(1, cores=2)
+        node = nodes[0]
+        table = node.cpu.table
+        for core in node.cpu.cores:
+            core.set_frequency(table.fmin)
+        low = node.worker_capacity_ghz()
+        for core in node.cpu.cores:
+            core.set_frequency(table.turbo)
+        assert node.worker_capacity_ghz() > low
+
+    def test_build_node_driver_baselines(self):
+        _, _, nodes = _fleet(2)
+        for policy in ("baseline", "retail", "gemini"):
+            driver = build_node_driver(nodes[0], policy)
+            assert driver is nodes[0].driver
+            assert hasattr(driver, "start") and hasattr(driver, "stop")
+
+    def test_build_node_driver_unknown_raises(self):
+        _, _, nodes = _fleet(1)
+        with pytest.raises(KeyError, match="unknown node policy"):
+            build_node_driver(nodes[0], "nonsense")

@@ -1,0 +1,152 @@
+"""Tests for FrequencyCap and the PowerCapCoordinator's apportioning."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.node import ClusterNode
+from repro.cluster.powercap import FrequencyCap, PowerCapCoordinator
+from repro.cluster.sim import fleet_power_budget
+from repro.cpu.dvfs import DEFAULT_TABLE
+from repro.cpu.power import DEFAULT_POWER_MODEL
+from repro.sim.engine import Engine
+from repro.workload.apps import get_app
+
+
+def _nodes(n=2, cores=2, seed=3):
+    engine = Engine()
+    app = get_app("xapian")
+    return engine, [
+        ClusterNode(engine, i, app, cores, seed=seed) for i in range(n)
+    ]
+
+
+class TestFrequencyCap:
+    def test_clamps_writes_above_ceiling(self):
+        _, nodes = _nodes(1)
+        cpu = nodes[0].cpu
+        cap = FrequencyCap(cpu)
+        cap.install()
+        cap.set_ceiling(1.5)
+        cpu.cores[0].set_frequency(cpu.table.turbo)
+        assert cpu.cores[0].frequency == pytest.approx(1.5)
+        # Writes at/below the ceiling pass through untouched.
+        cpu.cores[0].set_frequency(1.0)
+        assert cpu.cores[0].frequency == pytest.approx(1.0)
+
+    def test_batched_path_respects_cap(self):
+        _, nodes = _nodes(1, cores=3)
+        cpu = nodes[0].cpu
+        cap = FrequencyCap(cpu)
+        cap.install()
+        cap.set_ceiling(1.2)
+        cpu.set_all_frequencies(cpu.table.turbo)
+        assert np.all(cpu.frequencies() <= 1.2 + 1e-12)
+
+    def test_set_ceiling_clamps_cores_already_above(self):
+        _, nodes = _nodes(1)
+        cpu = nodes[0].cpu
+        cpu.cores[0].set_frequency(cpu.table.turbo)
+        cap = FrequencyCap(cpu)
+        cap.install()
+        cap.set_ceiling(1.0)
+        assert cpu.cores[0].frequency == pytest.approx(1.0)
+
+    def test_uninstall_restores_full_range(self):
+        _, nodes = _nodes(1)
+        cpu = nodes[0].cpu
+        cap = FrequencyCap(cpu)
+        cap.install()
+        cap.set_ceiling(1.0)
+        cap.uninstall()
+        cpu.cores[0].set_frequency(cpu.table.turbo)
+        assert cpu.cores[0].frequency == pytest.approx(cpu.table.turbo)
+
+    def test_chains_with_prior_instance_override(self):
+        _, nodes = _nodes(1)
+        cpu = nodes[0].cpu
+        core = cpu.cores[0]
+        calls = []
+        inner = core.set_frequency
+
+        def spy(freq, *, quantize=True):
+            calls.append(freq)
+            return inner(freq, quantize=quantize)
+
+        core.set_frequency = spy  # e.g. a fault injector
+        cap = FrequencyCap(cpu)
+        cap.install()
+        cap.set_ceiling(1.3)
+        core.set_frequency(cpu.table.turbo)
+        assert calls and max(calls) <= 1.3 + 1e-12
+        cap.uninstall()
+        assert core.__dict__["set_frequency"] is spy
+
+
+class TestApportion:
+    def _coordinator(self, budget, n=2, cores=2):
+        engine, nodes = _nodes(n, cores)
+        return PowerCapCoordinator(engine, nodes, budget)
+
+    def test_under_budget_redistributes_headroom(self):
+        budget = fleet_power_budget(2, 2, fraction=0.9)
+        coord = self._coordinator(budget)
+        targets = coord.apportion(np.array([6.0, 6.0]))
+        assert float(targets.sum()) <= budget + 1e-9
+        # Symmetric demand, symmetric split.
+        assert targets[0] == pytest.approx(targets[1])
+        assert np.all(targets <= coord._cap + 1e-9)
+
+    def test_over_budget_scales_above_floors(self):
+        budget = fleet_power_budget(2, 2, fraction=0.3)
+        coord = self._coordinator(budget)
+        targets = coord.apportion(coord._cap.copy())  # both maxed out
+        assert float(targets.sum()) == pytest.approx(budget)
+        assert np.all(targets >= coord._floor - 1e-9)
+
+    def test_loaded_node_gets_more_than_idle_node(self):
+        budget = fleet_power_budget(2, 2, fraction=0.5)
+        coord = self._coordinator(budget)
+        targets = coord.apportion(np.array([coord._cap[0], coord._floor[1]]))
+        assert targets[0] > targets[1]
+
+    def test_infeasible_budget_pins_floors(self):
+        coord = self._coordinator(1.0)  # 1 W for a whole fleet
+        assert not coord.feasible
+        targets = coord.apportion(np.array([50.0, 50.0]))
+        assert np.allclose(targets, coord._floor)
+
+    def test_ceiling_for_is_highest_fitting_level(self):
+        coord = self._coordinator(fleet_power_budget(2, 2))
+        worst, levels = coord._level_power[0], coord._levels[0]
+        # Exactly the worst-case power of a mid level fits that level.
+        mid = len(levels) // 2
+        assert coord._ceiling_for(0, float(worst[mid])) == levels[mid]
+        # Below everything -> fmin; at/above turbo worst -> turbo.
+        assert coord._ceiling_for(0, 0.0) == levels[0]
+        assert coord._ceiling_for(0, float(worst[-1])) == levels[-1]
+
+    def test_rejects_bad_parameters(self):
+        engine, nodes = _nodes(1)
+        with pytest.raises(ValueError, match="budget_watts"):
+            PowerCapCoordinator(engine, nodes, 0.0)
+        with pytest.raises(ValueError, match="window"):
+            PowerCapCoordinator(engine, nodes, 10.0, window=0.0)
+
+
+class TestFleetPowerBudget:
+    def test_always_feasible_and_monotone(self):
+        floor = 2 * DEFAULT_POWER_MODEL.socket_power(
+            np.full(2, DEFAULT_TABLE.fmin), np.ones(2, dtype=bool)
+        )
+        worst = 2 * DEFAULT_POWER_MODEL.socket_power(
+            np.full(2, DEFAULT_TABLE.turbo), np.ones(2, dtype=bool)
+        )
+        lo = fleet_power_budget(2, 2, fraction=0.1)
+        hi = fleet_power_budget(2, 2, fraction=1.0)
+        assert floor <= lo < hi <= worst + 1e-9
+
+    def test_fraction_validated(self):
+        with pytest.raises(ValueError, match="fraction"):
+            fleet_power_budget(2, 2, fraction=0.0)
+        with pytest.raises(ValueError, match="fraction"):
+            fleet_power_budget(2, 2, fraction=1.5)

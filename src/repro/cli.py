@@ -59,6 +59,39 @@ def _positive_int(value: str) -> int:
     return n
 
 
+def _positive_float(value: str) -> float:
+    """argparse type for rates/intensities that must be > 0."""
+    try:
+        x = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {value!r}")
+    if x <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {x}")
+    return x
+
+
+def _nonneg_float(value: str) -> float:
+    """argparse type for durations that must be >= 0."""
+    try:
+        x = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {value!r}")
+    if x < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {x}")
+    return x
+
+
+def _nonneg_int(value: str) -> int:
+    """argparse type for budgets/counts that must be >= 0."""
+    try:
+        n = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}")
+    if n < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {n}")
+    return n
+
+
 def _power_cap_arg(value: str):
     """argparse type for ``--power-cap``: positive watts or ``auto``."""
     if value == "auto":
@@ -271,6 +304,119 @@ def _cmd_fleet(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from .analysis.reporting import format_table
+    from .cluster import ClusterConfig, ClusterSim, fleet_power_budget, fleet_trace
+    from .experiments.fleet import FLEET_LOAD, fleet_dimensions
+    from .experiments.scenarios import active_profile, evaluation_trace
+    from .faults import standard_chaos_plan
+    from .obs import Observability
+
+    profile = active_profile(args.full)
+    _, default_cores = fleet_dimensions(profile)
+    cores = args.cores if args.cores is not None else default_cores
+    seed = args.seed if args.seed is not None else profile.seed
+    load = args.load if args.load is not None else FLEET_LOAD
+    trace = fleet_trace(
+        evaluation_trace(profile), args.app, args.nodes, cores, load=load
+    )
+    plan = standard_chaos_plan(
+        args.intensity,
+        args.nodes,
+        trace.duration,
+        seed=seed,
+        retry_budget=args.retry_budget,
+        retry_backoff=args.retry_backoff,
+        recovery_time=args.recovery,
+        drop_in_flight=args.drop_in_flight,
+    )
+    cap = args.power_cap
+    if cap == "auto":
+        cap = fleet_power_budget(args.nodes, cores)
+    config = ClusterConfig(
+        app=args.app,
+        num_nodes=args.nodes,
+        cores_per_node=cores,
+        policy=args.policy,
+        routing=args.routing,
+        power_cap_watts=cap,
+        seed=seed,
+        agent_path=args.agent,
+        fault_plan=plan,
+        health_aware=False if args.no_failover else None,
+    )
+    obs = None
+    if args.trace_out:
+        obs = Observability.from_paths(
+            trace_out=args.trace_out,
+            meta={
+                "kind": "chaos",
+                "app": args.app,
+                "policy": args.policy,
+                "routing": args.routing,
+                "num_nodes": args.nodes,
+                "intensity": args.intensity,
+                "failover": not args.no_failover,
+                "seed": seed,
+            },
+        )
+    try:
+        metrics = ClusterSim(config, trace, obs=obs).run()
+    finally:
+        if obs is not None:
+            obs.close()
+
+    def _ms(seconds: float) -> float:
+        return seconds * 1e3
+
+    rows = []
+    for node, (m, routed) in enumerate(zip(metrics.node_metrics, metrics.routed)):
+        rows.append(
+            [node, routed, m.avg_power_watts, m.energy_joules, m.completed,
+             m.timeouts, _ms(m.p95_latency), _ms(m.tail_latency),
+             metrics.node_availability[node]]
+        )
+    f = metrics.fleet
+    rows.append(
+        ["fleet", sum(metrics.routed), f.avg_power_watts, f.energy_joules,
+         f.completed, f.timeouts, _ms(f.p95_latency), _ms(f.tail_latency),
+         metrics.fleet_availability]
+    )
+    print(
+        f"chaos: {args.nodes} nodes x {cores} cores, app={args.app}, "
+        f"policy={args.policy}, routing={args.routing}, "
+        f"intensity={args.intensity:g}, "
+        f"failover={'off' if args.no_failover else 'on'}, seed={seed}"
+    )
+    print(
+        format_table(
+            ["node", "routed", "power(W)", "energy(J)", "completed",
+             "timeouts", "p95(ms)", "p99(ms)", "avail"],
+            rows,
+            "{:.2f}",
+        )
+    )
+    print(
+        f"chaos: crashes={metrics.crashes}, "
+        f"redispatched={metrics.redispatches}, "
+        f"dropped={metrics.dropped_requests}, "
+        f"unroutable={metrics.unroutable}, "
+        f"partitions={metrics.partitions}, "
+        f"availability={metrics.fleet_availability:.3f}, "
+        f"sla={'met' if f.sla_met else 'MISS'}"
+    )
+    if cap is not None:
+        verdict = "ok" if metrics.cap_ok else "EXCEEDED"
+        print(
+            f"power cap: budget={cap:.1f} W, "
+            f"peak window={metrics.max_window_power:.1f} W, "
+            f"throttled windows={metrics.throttled_windows} [{verdict}]"
+        )
+    if args.trace_out:
+        print(f"trace written to {args.trace_out}")
+    return 0
+
+
 def _cmd_trace(args) -> int:
     from .obs import (
         TraceError,
@@ -397,7 +543,7 @@ def build_parser() -> argparse.ArgumentParser:
         "70%% of the fleet's controllable range (default: uncapped)",
     )
     sp.add_argument(
-        "--load", type=float, default=None,
+        "--load", type=_positive_float, default=None,
         help="mean fleet utilisation the arrival trace is scaled to "
         "(default: the fleet experiment's load)",
     )
@@ -413,6 +559,83 @@ def build_parser() -> argparse.ArgumentParser:
         "(inspect with: deeppower trace summarize FILE --group-by node)",
     )
     sp.set_defaults(fn=_cmd_fleet)
+
+    sp = sub.add_parser(
+        "chaos",
+        help="run the fleet under a seeded fault plan (crashes, rack "
+        "failures, telemetry partitions) with failover dispatch",
+    )
+    sp.add_argument("--app", default="xapian")
+    sp.add_argument(
+        "--nodes", type=_positive_int, default=4,
+        help="number of simulated machines (default: 4)",
+    )
+    sp.add_argument(
+        "--cores", type=_positive_int, default=None,
+        help="cores per node (default: profile-sized)",
+    )
+    sp.add_argument(
+        "--policy", default="retail",
+        help="per-node power policy: baseline, retail, gemini, deeppower",
+    )
+    sp.add_argument(
+        "--routing", default="round-robin",
+        choices=["round-robin", "jsq", "power-aware"],
+        help="dispatcher routing policy",
+    )
+    sp.add_argument(
+        "--intensity", type=_positive_float, default=1.0,
+        help="fault-plan intensity scale (> 0; scales outage durations and "
+        "per-node DVFS fault rates)",
+    )
+    sp.add_argument(
+        "--retry-budget", type=_nonneg_int, default=2,
+        help="re-dispatch attempts per evacuated request before it is "
+        "dropped (>= 0; default: 2)",
+    )
+    sp.add_argument(
+        "--retry-backoff", type=_positive_float, default=0.05,
+        help="base re-dispatch delay in seconds, doubled per retry "
+        "(> 0; default: 0.05)",
+    )
+    sp.add_argument(
+        "--recovery", type=_nonneg_float, default=None,
+        help="seconds a restarted node stays frequency-capped in the "
+        "'recovering' state (default: 5%% of the trace)",
+    )
+    sp.add_argument(
+        "--drop-in-flight", action="store_true",
+        help="drop requests caught on a crashing node instead of "
+        "re-dispatching them",
+    )
+    sp.add_argument(
+        "--no-failover", action="store_true",
+        help="ablation: disable health-aware dispatch so routers keep "
+        "addressing down nodes",
+    )
+    sp.add_argument(
+        "--power-cap", type=_power_cap_arg, default=None,
+        help="global fleet power budget in watts, or 'auto' (default: "
+        "uncapped)",
+    )
+    sp.add_argument(
+        "--load", type=_positive_float, default=None,
+        help="mean fleet utilisation the arrival trace is scaled to "
+        "(default: the fleet experiment's load)",
+    )
+    sp.add_argument("--seed", type=int, default=None, help="default: profile seed")
+    sp.add_argument(
+        "--agent", default=None,
+        help="trained agent .npz for --policy deeppower (default: untrained)",
+    )
+    sp.add_argument("--full", action="store_true", help="full-scale profile")
+    sp.add_argument(
+        "--trace-out", default=None,
+        help="write a node-tagged JSONL chaos trace here, including "
+        "node-down/node-up/redispatch events "
+        "(inspect with: deeppower trace summarize FILE --group-by node)",
+    )
+    sp.set_defaults(fn=_cmd_chaos)
 
     sp = sub.add_parser("trace", help="inspect a JSONL observability trace")
     sp.add_argument("action", help="what to do with the trace (summarize)")

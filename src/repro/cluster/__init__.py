@@ -22,7 +22,14 @@ single-node stack without modifying it:
 * :class:`ClusterSim` / :class:`FleetSpec` — the fleet harness plus a
   picklable grid cell so fleet experiments fan out through
   :func:`repro.parallel.run_grid` exactly like single-node grids
-  (:mod:`repro.cluster.sim`).
+  (:mod:`repro.cluster.sim`),
+* :class:`NodeLifecycle` + :class:`StragglerDetector` — the resilience
+  layer: node crash/restart/recovery driven by a seed-deterministic
+  :class:`~repro.faults.FleetFaultPlan`, failover re-dispatch with retry
+  budgets and exponential backoff, health-aware routing that skips down
+  nodes and de-weights degraded ones, and membership-aware power-budget
+  redistribution (:mod:`repro.cluster.lifecycle`,
+  :mod:`repro.cluster.dispatch`).
 
 Fleet runs are seed-deterministic (one engine, per-node namespaced RNG
 streams) and emit ``node``-tagged observability events that
@@ -36,8 +43,20 @@ from .dispatch import (
     JoinShortestQueueRouter,
     PowerAwareRouter,
     RoundRobinRouter,
+    StragglerDetector,
 )
-from .node import NODE_POLICIES, ClusterNode, NodeContext, build_node_driver
+from .lifecycle import NodeLifecycle
+from .node import (
+    DEGRADED,
+    DOWN,
+    HEALTHY,
+    NODE_POLICIES,
+    NODE_STATES,
+    RECOVERING,
+    ClusterNode,
+    NodeContext,
+    build_node_driver,
+)
 from .powercap import CapWindow, FrequencyCap, PowerCapCoordinator
 from .sim import (
     ClusterConfig,
@@ -69,4 +88,11 @@ __all__ = [
     "fleet_trace",
     "fleet_power_budget",
     "merge_run_metrics",
+    "NodeLifecycle",
+    "StragglerDetector",
+    "HEALTHY",
+    "DEGRADED",
+    "DOWN",
+    "RECOVERING",
+    "NODE_STATES",
 ]

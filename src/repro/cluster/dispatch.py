@@ -18,13 +18,26 @@ pluggable router.  Three routers cover the classic trade-off space:
 Routers are deterministic functions of observable node state (no RNG), so
 fleet runs stay seed-reproducible: same seed, same arrivals, same routing
 decisions.  Ties break toward the lowest node id.
+
+Health awareness lives one level up, in :class:`Dispatcher`: routers only
+ever see the *candidate* list — down nodes are filtered out before
+``select`` runs, and degraded nodes are probabilistically de-weighted
+(dropped from the candidate set with probability ``degraded_penalty``,
+never hard-excluded) whenever a non-degraded alternative exists.  The
+de-weighting RNG is a dedicated seeded stream, and it is only drawn when a
+degraded candidate actually exists, so fault-free fleets make bitwise the
+same routing decisions as a dispatcher with health awareness disabled.
+:class:`StragglerDetector` closes the loop, flipping nodes between
+``healthy`` and ``degraded`` from windowed tail-latency observations.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
-from .node import ClusterNode
+import numpy as np
+
+from .node import DEGRADED, HEALTHY, ClusterNode
 
 __all__ = [
     "Router",
@@ -33,6 +46,7 @@ __all__ = [
     "PowerAwareRouter",
     "ROUTERS",
     "Dispatcher",
+    "StragglerDetector",
 ]
 
 
@@ -46,7 +60,14 @@ class Router:
 
 
 class RoundRobinRouter(Router):
-    """Cycle through nodes in id order, one request each."""
+    """Cycle through nodes in id order, one request each.
+
+    The cursor tracks *node ids*, not list positions, so the rotation stays
+    stable when the candidate list shrinks mid-run (a node went down): the
+    next request goes to the first surviving node at-or-after the cursor,
+    wrapping cyclically.  On a full, never-shrinking fleet this reduces
+    exactly to ``0, 1, ..., N-1, 0, ...``.
+    """
 
     name = "round-robin"
 
@@ -54,9 +75,15 @@ class RoundRobinRouter(Router):
         self._next = 0
 
     def select(self, nodes: Sequence[ClusterNode]) -> int:
-        idx = self._next
-        self._next = (idx + 1) % len(nodes)
-        return idx
+        chosen = None
+        for i, node in enumerate(nodes):
+            if node.node_id >= self._next:
+                chosen = i
+                break
+        if chosen is None:  # cursor past every candidate: wrap around
+            chosen = 0
+        self._next = nodes[chosen].node_id + 1
+        return chosen
 
 
 class JoinShortestQueueRouter(Router):
@@ -127,25 +154,150 @@ class Dispatcher:
     ``submit`` is the sink handed to the fleet's
     :class:`~repro.workload.arrivals.OpenLoopSource`; per-node routed
     counts live on the nodes themselves (``node.routed``).
+
+    Parameters
+    ----------
+    health_aware:
+        When True (the default), down nodes are removed from the candidate
+        set before routing and degraded nodes are probabilistically
+        de-weighted.  The no-failover ablation sets this False: the router
+        keeps addressing dead nodes, whose queues silently grow.
+    rng:
+        Seeded stream for degraded de-weighting.  Only consulted when a
+        degraded candidate coexists with a healthy one, so fleets that
+        never degrade a node draw nothing and stay bitwise reproducible.
+    degraded_penalty:
+        Probability a degraded node is dropped from the candidate set for
+        one routing decision (0 = ignore degradation, 1 = hard-exclude
+        while alternatives exist).
+    on_unroutable:
+        Callback for requests with zero live candidates (entire fleet
+        down).  Default: mark the request dropped.
     """
 
-    def __init__(self, nodes: Sequence[ClusterNode], router: Router) -> None:
+    def __init__(
+        self,
+        nodes: Sequence[ClusterNode],
+        router: Router,
+        *,
+        health_aware: bool = True,
+        rng: Optional[np.random.Generator] = None,
+        degraded_penalty: float = 0.5,
+        on_unroutable: Optional[Callable] = None,
+    ) -> None:
         if not nodes:
             raise ValueError("dispatcher needs at least one node")
+        if not 0.0 <= degraded_penalty <= 1.0:
+            raise ValueError(
+                f"degraded_penalty must be in [0, 1], got {degraded_penalty!r}"
+            )
         self.nodes: List[ClusterNode] = list(nodes)
         self.router = router
+        self.health_aware = bool(health_aware)
+        self.rng = rng
+        self.degraded_penalty = float(degraded_penalty)
+        self.on_unroutable = on_unroutable
         self.dispatched = 0
+        #: Requests that found no live node to run on.
+        self.unroutable = 0
+
+    def _candidates(self) -> List[ClusterNode]:
+        cands = [n for n in self.nodes if not n.is_down]
+        if not cands or self.rng is None or self.degraded_penalty == 0.0:
+            return cands
+        degraded = sum(1 for n in cands if n.is_degraded)
+        if degraded == 0 or degraded == len(cands):
+            # Nothing to de-weight, or no healthy alternative to shed to.
+            return cands
+        kept = [
+            n
+            for n in cands
+            if not n.is_degraded or self.rng.random() >= self.degraded_penalty
+        ]
+        return kept if kept else [n for n in cands if not n.is_degraded]
 
     def submit(self, req) -> None:
-        idx = self.router.select(self.nodes)
-        if not 0 <= idx < len(self.nodes):
+        cands = self._candidates() if self.health_aware else self.nodes
+        if not cands:
+            self.unroutable += 1
+            if self.on_unroutable is not None:
+                self.on_unroutable(req)
+            else:
+                req.dropped = True
+            return
+        idx = self.router.select(cands)
+        if not 0 <= idx < len(cands):
             raise IndexError(
                 f"router {self.router.name!r} selected node {idx} "
-                f"of {len(self.nodes)}"
+                f"of {len(cands)}"
             )
         self.dispatched += 1
-        self.nodes[idx].submit(req)
+        cands[idx].submit(req)
 
     def routed_counts(self) -> List[int]:
         """Requests routed to each node so far, in node-id order."""
         return [node.routed for node in self.nodes]
+
+
+class StragglerDetector:
+    """Flag nodes whose recent tail latency strays far above the fleet.
+
+    Periodically (driven by the cluster harness) computes each node's p99
+    over the completions that landed since the previous check and compares
+    it to the fleet-wide median of those window p99s: a node above
+    ``multiple``x the median is marked ``degraded``; a degraded node back
+    within bounds is restored to ``healthy``.  Only the healthy <->
+    degraded edge is touched — down/recovering nodes belong to the
+    lifecycle, though their completion cursor still advances so stale
+    samples cannot condemn a node that just came back.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[ClusterNode],
+        *,
+        multiple: float = 3.0,
+        min_samples: int = 5,
+        on_change: Optional[Callable[[ClusterNode, str], None]] = None,
+    ) -> None:
+        if multiple <= 1.0:
+            raise ValueError(f"straggler multiple must be > 1, got {multiple!r}")
+        self.nodes = list(nodes)
+        self.multiple = float(multiple)
+        self.min_samples = int(min_samples)
+        self.on_change = on_change
+        self._seen = [0] * len(self.nodes)
+        #: (node_id, new_state) transitions, for tests/diagnostics.
+        self.transitions: List[tuple] = []
+
+    def check(self) -> None:
+        """One detection pass over the window since the previous call."""
+        window_p99 = []
+        for i, node in enumerate(self.nodes):
+            lats = node.server.metrics.latencies
+            fresh = lats[self._seen[i]:]
+            self._seen[i] = len(lats)
+            if len(fresh) >= self.min_samples:
+                window_p99.append(float(np.quantile(fresh, 0.99)))
+            else:
+                window_p99.append(float("nan"))
+        finite = [p for p in window_p99 if np.isfinite(p)]
+        if len(finite) < 2:
+            return
+        median = float(np.median(finite))
+        if median <= 0.0:
+            return
+        for node, p99 in zip(self.nodes, window_p99):
+            if node.state not in (HEALTHY, DEGRADED):
+                continue
+            if np.isfinite(p99) and p99 > self.multiple * median:
+                if node.state == HEALTHY:
+                    self._flip(node, DEGRADED)
+            elif node.state == DEGRADED and np.isfinite(p99):
+                self._flip(node, HEALTHY)
+
+    def _flip(self, node: ClusterNode, state: str) -> None:
+        node.state = state
+        self.transitions.append((node.node_id, state))
+        if self.on_change is not None:
+            self.on_change(node, state)

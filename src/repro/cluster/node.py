@@ -39,7 +39,26 @@ from ..sim.engine import Engine
 from ..sim.rng import RngRegistry
 from ..workload.apps import AppSpec
 
-__all__ = ["NodeContext", "ClusterNode", "NODE_POLICIES", "build_node_driver"]
+__all__ = [
+    "NodeContext",
+    "ClusterNode",
+    "NODE_POLICIES",
+    "build_node_driver",
+    "HEALTHY",
+    "DEGRADED",
+    "DOWN",
+    "RECOVERING",
+    "NODE_STATES",
+]
+
+
+# Node lifecycle states (healthy -> degraded -> down -> recovering).  Plain
+# strings so they serialize directly into trace events.
+HEALTHY = "healthy"
+DEGRADED = "degraded"
+DOWN = "down"
+RECOVERING = "recovering"
+NODE_STATES = (HEALTHY, DEGRADED, DOWN, RECOVERING)
 
 
 @dataclass
@@ -110,6 +129,8 @@ class ClusterNode:
         self.driver: Any = None
         #: Requests the dispatcher routed to this node.
         self.routed = 0
+        #: Lifecycle state; immortal fleets (no fault plan) stay "healthy".
+        self.state: str = HEALTHY
 
     # ------------------------------------------------------------------ wiring
 
@@ -132,6 +153,21 @@ class ClusterNode:
         """Dispatcher entry point: hand a routed request to the server."""
         self.routed += 1
         self.server.submit(req)
+
+    # ------------------------------------------------------------------ health
+
+    @property
+    def is_down(self) -> bool:
+        return self.state == DOWN
+
+    @property
+    def is_degraded(self) -> bool:
+        return self.state == DEGRADED
+
+    @property
+    def accepting(self) -> bool:
+        """Whether a health-aware dispatcher may route new work here."""
+        return self.state != DOWN
 
     # --------------------------------------------------------------- telemetry
 

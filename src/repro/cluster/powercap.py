@@ -44,7 +44,7 @@ from ..cpu.core import Core
 from ..cpu.topology import Cpu
 from ..sim.engine import Engine, PeriodicTask
 from ..sim.events import PRIORITY_CONTROL
-from .node import ClusterNode
+from .node import DOWN, RECOVERING, ClusterNode
 
 __all__ = ["FrequencyCap", "CapWindow", "PowerCapCoordinator"]
 
@@ -110,6 +110,9 @@ class CapWindow:
     #: Frequency ceiling applied per node (GHz, a table level).
     ceilings: Tuple[float, ...]
     budget_watts: float
+    #: What triggered this decision: a periodic "window" or a "membership"
+    #: change (node crash/restart/recovery).
+    reason: str = "window"
 
     @property
     def total_power(self) -> float:
@@ -175,9 +178,25 @@ class PowerCapCoordinator:
             self._level_power.append(worst)
         self._floor = np.array([lp[0] for lp in self._level_power])
         self._cap = np.array([lp[-1] for lp in self._level_power])
+        # All-idle draw at fmin: what a down (parked) node still burns, and
+        # therefore what membership-aware apportioning reserves for it.
+        self._idle_floor = np.array(
+            [
+                n.cpu.power_model.socket_power(
+                    np.full(n.cpu.num_cores, n.cpu.table.fmin),
+                    np.zeros(n.cpu.num_cores, dtype=bool),
+                )
+                for n in self.nodes
+            ]
+        )
         self._last_energy = np.zeros(len(self.nodes))
         self._last_time = 0.0
+        self._last_powers = np.zeros(len(self.nodes))
         self._task: Optional[PeriodicTask] = None
+        #: Optional :class:`~repro.cluster.lifecycle.NodeLifecycle`; when
+        #: set, telemetry partitions freeze a node's energy reading and
+        #: membership changes re-apportion the budget over live nodes.
+        self.lifecycle: Any = None
         self.history: List[CapWindow] = []
         #: Windows in which at least one node's ceiling was below turbo.
         self.throttled_windows = 0
@@ -214,8 +233,33 @@ class PowerCapCoordinator:
 
     # ------------------------------------------------------------ coordination
 
+    def _read_energy(self, i: int) -> float:
+        """Node ``i``'s energy counter as the coordinator *sees* it.
+
+        During a telemetry partition the node's sensor messages never
+        arrive, so the coordinator keeps re-reading the last value it got;
+        when the partition heals, the cumulative counter catches up in one
+        jump (one window of inflated measured power — the price of
+        cumulative-counter semantics).
+        """
+        if self.lifecycle is not None and self.lifecycle.is_partitioned(
+            self.nodes[i].node_id
+        ):
+            return float(self._last_energy[i])
+        return float(self.nodes[i].monitor.total_energy())
+
+    def _live_mask(self) -> np.ndarray:
+        return np.array([not n.is_down for n in self.nodes], dtype=bool)
+
+    def _parked_mask(self) -> np.ndarray:
+        """Nodes to pin at the floor ceiling: down, plus recovering ones
+        (the guard that a restarted node re-enters at the floor cap)."""
+        return np.array(
+            [n.state in (DOWN, RECOVERING) for n in self.nodes], dtype=bool
+        )
+
     def _rebalance(self) -> None:
-        energies = np.array([n.monitor.total_energy() for n in self.nodes])
+        energies = np.array([self._read_energy(i) for i in range(len(self.nodes))])
         now = self.engine.now
         dt = now - self._last_time
         if dt <= 0:  # pragma: no cover - periodic task guarantees dt > 0
@@ -223,10 +267,29 @@ class PowerCapCoordinator:
         powers = (energies - self._last_energy) / dt
         self._last_energy = energies
         self._last_time = now
-        targets = self.apportion(powers)
+        self._last_powers = powers
+        self._decide(powers, "window")
+
+    def on_membership_change(self) -> None:
+        """Re-apportion immediately after a node went down or came back.
+
+        Uses the last window's measured powers (there is no fresh reading
+        mid-window); the next periodic window measures normally.
+        """
+        if self._task is None:
+            return
+        self._decide(self._last_powers, "membership")
+
+    def _decide(self, powers: np.ndarray, reason: str) -> None:
+        live = self._live_mask()
+        parked = self._parked_mask()
+        targets = self.apportion(powers, live=None if live.all() else live)
         ceilings = []
         for i, cap in enumerate(self.caps):
-            ceiling = self._ceiling_for(i, targets[i])
+            if parked[i]:
+                ceiling = self._levels[i][0]
+            else:
+                ceiling = self._ceiling_for(i, targets[i])
             cap.set_ceiling(ceiling)
             ceilings.append(ceiling)
         turbo_lost = any(
@@ -235,26 +298,30 @@ class PowerCapCoordinator:
         if turbo_lost:
             self.throttled_windows += 1
         win = CapWindow(
-            time=now,
+            time=self.engine.now,
             powers=tuple(float(p) for p in powers),
             targets=tuple(float(t) for t in targets),
             ceilings=tuple(ceilings),
             budget_watts=self.budget_watts,
+            reason=reason,
         )
         self.history.append(win)
         if self.trace is not None:
             self.trace.emit(
                 "powercap-window",
-                t=now,
+                t=self.engine.now,
                 powers=list(win.powers),
                 targets=list(win.targets),
                 ceilings=list(win.ceilings),
                 total_w=win.total_power,
                 budget_w=self.budget_watts,
                 throttled=turbo_lost,
+                reason=reason,
             )
 
-    def apportion(self, powers: np.ndarray) -> np.ndarray:
+    def apportion(
+        self, powers: np.ndarray, live: Optional[np.ndarray] = None
+    ) -> np.ndarray:
         """Split the budget into per-node power targets (pure function).
 
         Demand is measured power with the boost margin, clipped to each
@@ -263,24 +330,49 @@ class PowerCapCoordinator:
         each node's remaining envelope (so a loaded node can ramp while
         an idle one does not hoard watts it cannot use); over-budget
         demand is scaled down proportionally above the floors.
+
+        When ``live`` (a boolean mask) marks nodes down, each down node is
+        assigned exactly its parked all-idle-at-fmin draw and the remaining
+        budget is apportioned over the live subset — the membership-aware
+        redistribution.  ``live=None`` (or all-True) is the full-fleet path.
         """
         powers = np.asarray(powers, dtype=float)
-        demand = np.clip(powers * self.boost, self._floor, self._cap)
+        if live is None or bool(np.asarray(live, dtype=bool).all()):
+            return self._apportion_over(
+                powers, self._floor, self._cap, self.budget_watts
+            )
+        live = np.asarray(live, dtype=bool)
+        targets = np.empty(len(self.nodes))
+        targets[~live] = self._idle_floor[~live]
+        remaining = self.budget_watts - float(self._idle_floor[~live].sum())
+        targets[live] = self._apportion_over(
+            powers[live], self._floor[live], self._cap[live], max(remaining, 0.0)
+        )
+        return targets
+
+    def _apportion_over(
+        self,
+        powers: np.ndarray,
+        floor: np.ndarray,
+        cap: np.ndarray,
+        budget: float,
+    ) -> np.ndarray:
+        demand = np.clip(powers * self.boost, floor, cap)
         total = float(demand.sum())
-        if total <= self.budget_watts:
-            spare = self.budget_watts - total
-            room = self._cap - demand
+        if total <= budget:
+            spare = budget - total
+            room = cap - demand
             room_total = float(room.sum())
             if room_total > 0 and spare > 0:
                 demand = demand + room * min(spare / room_total, 1.0)
-            return np.minimum(demand, self._cap)
-        floor_total = float(self._floor.sum())
-        if floor_total >= self.budget_watts:
+            return np.minimum(demand, cap)
+        floor_total = float(floor.sum())
+        if floor_total >= budget:
             # Infeasible budget: everyone pinned to the floor is the best
             # the coordinator can do (ceilings land on fmin below).
-            return self._floor.copy()
-        scale = (self.budget_watts - floor_total) / (total - floor_total)
-        return self._floor + (demand - self._floor) * scale
+            return floor.copy()
+        scale = (budget - floor_total) / (total - floor_total)
+        return floor + (demand - floor) * scale
 
     def _ceiling_for(self, node_idx: int, target_watts: float) -> float:
         """Highest DVFS level whose worst-case node power fits the target."""

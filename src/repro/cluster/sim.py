@@ -31,6 +31,7 @@ import numpy as np
 
 from ..cpu.dvfs import DEFAULT_TABLE, FrequencyTable
 from ..cpu.power import DEFAULT_POWER_MODEL, PowerModel
+from ..faults.fleet import FleetFaultPlan
 from ..server.metrics import LatencyRecorder, RunMetrics
 from ..sim.engine import Engine
 from ..sim.events import PRIORITY_CONTROL
@@ -38,7 +39,8 @@ from ..sim.rng import RngRegistry
 from ..workload.apps import get_app
 from ..workload.arrivals import OpenLoopSource
 from ..workload.trace import WorkloadTrace
-from .dispatch import ROUTERS, Dispatcher, make_router
+from .dispatch import ROUTERS, Dispatcher, StragglerDetector, make_router
+from .lifecycle import NodeLifecycle
 from .node import NODE_POLICIES, ClusterNode, build_node_driver
 from .powercap import PowerCapCoordinator
 
@@ -72,6 +74,18 @@ class ClusterConfig:
     agent_path: Optional[str] = None
     agent_seed: int = 7
     keep_requests: bool = False
+    #: Fleet fault scenario; None (or an empty plan) keeps the fleet
+    #: immortal and the run bitwise identical to a plain fleet run.
+    fault_plan: Optional[FleetFaultPlan] = None
+    #: Health-aware dispatch (skip down nodes, de-weight degraded ones).
+    #: None = on exactly when a fault plan is active; False = the
+    #: no-failover ablation.
+    health_aware: Optional[bool] = None
+    #: Straggler detector: degrade a node whose window p99 exceeds this
+    #: multiple of the fleet median window p99.
+    straggler_multiple: float = 3.0
+    #: Probability a degraded node is dropped from one routing decision.
+    degraded_penalty: float = 0.5
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
@@ -94,6 +108,19 @@ class ClusterConfig:
             raise ValueError(
                 f"power_cap_watts must be positive, got {self.power_cap_watts}"
             )
+        if self.straggler_multiple <= 1.0:
+            raise ValueError(
+                f"straggler_multiple must be > 1, got {self.straggler_multiple}"
+            )
+        if not 0.0 <= self.degraded_penalty <= 1.0:
+            raise ValueError(
+                f"degraded_penalty must be in [0, 1], got {self.degraded_penalty}"
+            )
+
+    @property
+    def resilience_active(self) -> bool:
+        """Whether this run carries any fault machinery at all."""
+        return self.fault_plan is not None and not self.fault_plan.is_empty
 
 
 @dataclass
@@ -118,6 +145,25 @@ class FleetMetrics:
     #: Whether steady-state fleet power stayed within the cap (+5%);
     #: vacuously True without a coordinator.
     cap_ok: bool = True
+    # ---- resilience accounting (all zero/empty for immortal fleets) --------
+    crashes: int = 0
+    dropped_requests: int = 0
+    redispatches: int = 0
+    partitions: int = 0
+    unroutable: int = 0
+    #: Per-node up-fraction of the trace window (1.0 without faults).
+    node_availability: List[float] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.node_availability is None:
+            self.node_availability = [1.0] * self.num_nodes
+
+    @property
+    def fleet_availability(self) -> float:
+        """Mean per-node up-fraction (1.0 = no downtime anywhere)."""
+        if not self.node_availability:
+            return 1.0
+        return float(sum(self.node_availability) / len(self.node_availability))
 
     @property
     def routed_imbalance(self) -> float:
@@ -140,6 +186,13 @@ class FleetMetrics:
             "mean_window_power": self.mean_window_power,
             "throttled_windows": self.throttled_windows,
             "cap_ok": self.cap_ok,
+            "crashes": self.crashes,
+            "dropped_requests": self.dropped_requests,
+            "redispatches": self.redispatches,
+            "partitions": self.partitions,
+            "unroutable": self.unroutable,
+            "node_availability": list(self.node_availability),
+            "fleet_availability": self.fleet_availability,
         }
 
 
@@ -211,7 +264,22 @@ class ClusterSim:
             for i in range(config.num_nodes)
         ]
         self.router = make_router(config.routing)
-        self.dispatcher = Dispatcher(self.nodes, self.router)
+        # Resilience machinery exists only when a fault plan is active, so
+        # a faultless fleet draws no extra RNG and schedules no extra
+        # events — bitwise identical to a run without this layer.
+        resilience = config.resilience_active
+        health_aware = (
+            resilience if config.health_aware is None else bool(config.health_aware)
+        )
+        self.dispatcher = Dispatcher(
+            self.nodes,
+            self.router,
+            health_aware=health_aware,
+            rng=self.rngs.get("dispatch") if resilience else None,
+            degraded_penalty=config.degraded_penalty,
+        )
+        self.lifecycle: Optional[NodeLifecycle] = None
+        self.detector: Optional[StragglerDetector] = None
         self.drivers = [
             build_node_driver(
                 node,
@@ -240,9 +308,31 @@ class ClusterSim:
                 boost=config.cap_boost,
                 trace=self._trace_writer,
             )
+        if resilience:
+            self.lifecycle = NodeLifecycle(
+                self.engine,
+                self.nodes,
+                config.fault_plan,
+                dispatcher=self.dispatcher,
+                coordinator=self.coordinator,
+                trace=self._trace_writer,
+            )
+            self.dispatcher.on_unroutable = self.lifecycle.handle_unroutable
+            if self.coordinator is not None:
+                self.coordinator.lifecycle = self.lifecycle
+            self.detector = StragglerDetector(
+                self.nodes,
+                multiple=config.straggler_multiple,
+                on_change=self._on_health_change,
+            )
         # Per-node energy at the last telemetry window (node-window events).
         self._win_energy = np.zeros(len(self.nodes))
         self._win_time = 0.0
+
+    def _on_health_change(self, node: ClusterNode, state: str) -> None:
+        if self._trace_writer is not None:
+            event = "node-degraded" if state == "degraded" else "node-restored"
+            self._trace_writer.emit(event, t=self.engine.now, node=node.node_id)
 
     # -------------------------------------------------------------- telemetry
 
@@ -303,6 +393,16 @@ class ClusterSim:
                 driver.start()
         if self.coordinator is not None:
             self.coordinator.start()
+        if self.lifecycle is not None:
+            self.lifecycle.start()
+        health_task = None
+        if self.detector is not None:
+            health_task = self.engine.every(
+                cfg.cap_window,
+                self.detector.check,
+                start_delay=cfg.cap_window,
+                priority=PRIORITY_CONTROL + 1,
+            )
         window_task = None
         if tw is not None:
             self._win_energy = np.array(
@@ -323,6 +423,10 @@ class ClusterSim:
         # workload window, not the drain tail).
         node_energy = [n.monitor.total_energy() for n in self.nodes]
         node_switches = [n.cpu.total_switches() for n in self.nodes]
+        if self.lifecycle is not None:
+            # Downtime accounting also closes at trace end: availability is
+            # defined over the workload window, not the drain tail.
+            self.lifecycle.finalize(duration)
 
         grace = drain_grace if drain_grace is not None else 10.0 * self.app.sla
         deadline = duration + grace
@@ -334,6 +438,8 @@ class ClusterSim:
 
         if window_task is not None:
             window_task.stop()
+        if health_task is not None:
+            health_task.stop()
         if self.coordinator is not None:
             self.coordinator.stop()
         for driver in self.drivers:
@@ -360,6 +466,10 @@ class ClusterSim:
         fleet.dvfs_switches = int(sum(node_switches))
 
         coord = self.coordinator
+        life = self.lifecycle
+        availability = (
+            life.availability(duration) if life else [1.0] * cfg.num_nodes
+        )
         result = FleetMetrics(
             num_nodes=cfg.num_nodes,
             duration=duration,
@@ -371,6 +481,12 @@ class ClusterSim:
             mean_window_power=coord.mean_window_power() if coord else float("nan"),
             throttled_windows=coord.throttled_windows if coord else 0,
             cap_ok=coord.cap_ok() if coord else True,
+            crashes=life.crashes if life else 0,
+            dropped_requests=life.dropped if life else 0,
+            redispatches=life.redispatches if life else 0,
+            partitions=life.partitions if life else 0,
+            unroutable=self.dispatcher.unroutable,
+            node_availability=availability,
         )
 
         if tw is not None:
@@ -390,6 +506,8 @@ class ClusterSim:
                     t=self.engine.now,
                     node=i,
                     routed=result.routed[i],
+                    availability=result.node_availability[i],
+                    downtime=life.downtime[i] if life else 0.0,
                     metrics=m.as_dict(),
                 )
             tw.emit(
@@ -402,6 +520,12 @@ class ClusterSim:
                 mean_window_power=result.mean_window_power,
                 throttled_windows=result.throttled_windows,
                 cap_ok=result.cap_ok,
+                crashes=result.crashes,
+                dropped_requests=result.dropped_requests,
+                redispatches=result.redispatches,
+                partitions=result.partitions,
+                unroutable=result.unroutable,
+                fleet_availability=result.fleet_availability,
                 metrics=fleet.as_dict(),
             )
         if self.obs is not None:
@@ -437,9 +561,13 @@ class FleetSpec:
     agent_seed: int = 7
     label: str = ""
     trace_out: Optional[str] = None
+    fault_plan: Optional[FleetFaultPlan] = None
+    health_aware: Optional[bool] = None
+    straggler_multiple: float = 3.0
+    degraded_penalty: float = 0.5
 
     def cache_payload(self) -> dict:
-        from ..parallel.cache import file_digest
+        from ..parallel.cache import file_digest, plan_digest
 
         return {
             "kind": "fleet-spec",
@@ -459,6 +587,12 @@ class FleetSpec:
             "agent_digest": file_digest(self.agent_path) if self.agent_path else None,
             "agent_seed": self.agent_seed if self.agent_path else None,
             "label": self.label,
+            # A faulted run must never collide with a clean run of the same
+            # spec: the digest is None exactly when the plan is a no-op.
+            "fault_plan": plan_digest(self.fault_plan),
+            "health_aware": self.health_aware,
+            "straggler_multiple": self.straggler_multiple,
+            "degraded_penalty": self.degraded_penalty,
         }
 
     def to_config(self) -> ClusterConfig:
@@ -476,6 +610,10 @@ class FleetSpec:
             seed=self.seed,
             agent_path=self.agent_path,
             agent_seed=self.agent_seed,
+            fault_plan=self.fault_plan,
+            health_aware=self.health_aware,
+            straggler_multiple=self.straggler_multiple,
+            degraded_penalty=self.degraded_penalty,
         )
 
     def execute(self) -> Tuple[FleetMetrics, Dict[str, Any]]:

@@ -27,6 +27,7 @@ from .fig7_main import render_fig7, run_fig7
 from .fig8_timeseries import render_fig8, run_fig8
 from .fig9_10_freq_traces import render_freq_traces, run_freq_traces
 from .fig11_fixed_params import render_fig11, run_fig11
+from .chaos import render_chaos, run_chaos
 from .fault_tolerance import render_fault_tolerance, run_fault_tolerance
 from .fleet import render_fleet, run_fleet
 from .overhead import render_overhead, run_overhead
@@ -138,6 +139,7 @@ REGISTRY: Dict[str, Experiment] = {
         Experiment("robustness-mmpp", "policies under flash-crowd (MMPP) arrivals", run_mmpp_robustness, render_robustness),
         Experiment("fault-tolerance", "policies under injected sensor/actuator faults", run_fault_tolerance, render_fault_tolerance),
         Experiment("fleet", "cluster fleet: routing x power policy grid under a global power cap", run_fleet, render_fleet),
+        Experiment("chaos", "fleet under seeded node failures: fault intensity x routing, failover vs none", run_chaos, render_chaos),
     ]
 }
 

@@ -13,6 +13,12 @@ Three layers:
   governor while telemetry is broken.
 """
 
+from .fleet import (
+    FLEET_FAULT_KINDS,
+    FleetEvent,
+    FleetFaultPlan,
+    standard_chaos_plan,
+)
 from .injectors import ActuatorFaults, AgentFaults, FaultHarness, SensorFaults
 from .plan import FAULT_KINDS, FaultEvent, FaultPlan, standard_fault_plan
 from .watchdog import Watchdog, WatchdogConfig, make_fallback_governor
@@ -22,6 +28,10 @@ __all__ = [
     "FaultEvent",
     "FaultPlan",
     "standard_fault_plan",
+    "FLEET_FAULT_KINDS",
+    "FleetEvent",
+    "FleetFaultPlan",
+    "standard_chaos_plan",
     "SensorFaults",
     "ActuatorFaults",
     "AgentFaults",

@@ -183,6 +183,9 @@ class FleetTraceSummary:
     fleet: Dict[str, Any] = field(default_factory=dict)
     #: Power-cap coordination stats (empty when the run was uncapped).
     powercap: Dict[str, Any] = field(default_factory=dict)
+    #: Fault/chaos stats (crashes, redispatches, drops, partitions);
+    #: empty for immortal fleets.
+    faults: Dict[str, Any] = field(default_factory=dict)
     warnings: List[Dict[str, Any]] = field(default_factory=list)
 
 
@@ -220,6 +223,17 @@ def summarize_fleet_trace(path: str, strict: bool = True) -> FleetTraceSummary:
     cap_totals: List[float] = []
     cap_budget: Optional[float] = None
     cap_throttled = 0
+    downs: Dict[int, int] = {}
+    down_since: Dict[int, float] = {}
+    downtime: Dict[int, float] = {}
+    avail: Dict[int, Any] = {}
+    fault_counts = {
+        "crashes": 0,
+        "redispatches": 0,
+        "drops": 0,
+        "partitions": 0,
+        "degraded": 0,
+    }
     for event in read_trace(path, strict=strict):
         kind = event.get("kind", "?")
         summary.counts[kind] = summary.counts.get(kind, 0) + 1
@@ -235,11 +249,34 @@ def summarize_fleet_trace(path: str, strict: bool = True) -> FleetTraceSummary:
             node = event.get("node")
             node_rows[node] = _node_row_from_metrics(node, event.get("metrics", {}))
             routed[node] = event.get("routed")
+            if event.get("availability") is not None:
+                avail[node] = event.get("availability")
+        elif kind == "node-down":
+            node = event.get("node")
+            downs[node] = downs.get(node, 0) + 1
+            down_since[node] = event.get("t", 0.0)
+            fault_counts["crashes"] += 1
+        elif kind == "node-up":
+            node = event.get("node")
+            t = event.get("t", 0.0)
+            downtime[node] = downtime.get(node, 0.0) + max(
+                0.0, t - down_since.pop(node, t)
+            )
+        elif kind == "redispatch":
+            fault_counts["redispatches"] += 1
+        elif kind == "request-drop":
+            fault_counts["drops"] += 1
+        elif kind == "telemetry-partition":
+            fault_counts["partitions"] += 1
+        elif kind == "node-degraded":
+            fault_counts["degraded"] += 1
         elif kind == "fleet-summary":
             metrics = event.get("metrics", {})
             summary.fleet = _node_row_from_metrics("fleet", metrics)
             summary.fleet["routed"] = sum(event.get("routed", []) or [0])
             summary.fleet["windows"] = None
+            if event.get("fleet_availability") is not None:
+                summary.fleet["avail"] = event.get("fleet_availability")
             if event.get("power_cap_watts") is not None:
                 for key, src in (
                     ("budget_w", "power_cap_watts"),
@@ -278,8 +315,26 @@ def summarize_fleet_trace(path: str, strict: bool = True) -> FleetTraceSummary:
             routed.setdefault(node, last.get("routed"))
         row["routed"] = routed.get(node)
         row["windows"] = len(windows.get(node, []))
+        row["downs"] = downs.get(node, 0)
+        if node in avail:
+            row["avail"] = avail[node]
+        else:
+            # Truncated trace: rebuild availability from the node-down /
+            # node-up events seen so far (open outages run to trace end).
+            duration = summary.fleet_start.get("trace_duration")
+            if duration:
+                dt = downtime.get(node, 0.0)
+                if node in down_since:
+                    dt += max(0.0, duration - down_since[node])
+                row["avail"] = 1.0 - min(dt, duration) / duration
+            else:
+                row["avail"] = None
         summary.nodes.append(row)
 
+    if summary.fleet and "downs" not in summary.fleet:
+        summary.fleet["downs"] = fault_counts["crashes"]
+    if any(fault_counts.values()):
+        summary.faults = dict(fault_counts)
     if cap_totals:
         finite = [p for p in cap_totals if isinstance(p, float) and p == p]
         summary.powercap["windows"] = len(cap_totals)
@@ -295,6 +350,7 @@ def summarize_fleet_trace(path: str, strict: bool = True) -> FleetTraceSummary:
 NODE_COLUMNS = (
     "node", "routed", "windows", "power_w", "energy_j", "completed",
     "timeouts", "p95_ms", "p99_ms", "mean_tail_ratio", "sla_met",
+    "downs", "avail",
 )
 
 
@@ -339,5 +395,11 @@ def render_fleet_summary(
         lines.append("")
         lines.append(
             "powercap: " + ", ".join(f"{k}={v}" for k, v in sorted(pc.items()))
+        )
+    if summary.faults:
+        lines.append("")
+        lines.append(
+            "faults: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(summary.faults.items()))
         )
     return "\n".join(lines)

@@ -131,25 +131,37 @@ def read_trace(path: str, strict: bool = True) -> Iterator[Dict[str, Any]]:
     """Yield every event of a JSONL trace, header first.
 
     With ``strict`` (default) the first event must be a ``trace-header``
-    whose schema is known; pass ``strict=False`` to inspect damaged or
-    in-progress (``.part``) files.
+    whose schema is known and any damage raises :class:`TraceError`; pass
+    ``strict=False`` to inspect damaged or in-progress (``.part``) files —
+    lenient reads stop cleanly at the first broken line, so a torn
+    (partially written) final line from a crashed writer yields every
+    complete event before it instead of poisoning the read.
+
+    Lines are read as bytes and decoded individually: a line torn mid-way
+    through a multi-byte UTF-8 character is a truncation like any other,
+    not a stream-level decode crash.
     """
     if not os.path.exists(path) and os.path.exists(path + ".part"):
         # Convenience for crashed runs: fall back to the unpublished part
-        # file (complete lines only; json errors surface per-line below).
+        # file (complete lines only; damage surfaces per-line below).
         path = path + ".part"
-    with open(path) as f:
+    with open(path, "rb") as f:
         first = True
-        for lineno, line in enumerate(f, start=1):
-            line = line.strip()
-            if not line:
+        for lineno, raw in enumerate(f, start=1):
+            if not raw.strip():
                 continue
             try:
-                event = json.loads(line)
-            except json.JSONDecodeError as exc:
+                event = json.loads(raw.decode("utf-8").strip())
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
                 if strict:
                     raise TraceError(f"{path}:{lineno}: bad JSON ({exc})") from exc
-                return  # truncated tail of a crashed run
+                return  # truncated/torn tail of a crashed run
+            if not isinstance(event, dict):
+                if strict:
+                    raise TraceError(
+                        f"{path}:{lineno}: trace event is not a JSON object"
+                    )
+                return
             if first:
                 first = False
                 if strict:

@@ -25,6 +25,7 @@ from .cache import (
     RunResultCache,
     content_key,
     default_cache_root,
+    plan_digest,
     resolve_cache,
 )
 from .grid import (
@@ -45,6 +46,7 @@ __all__ = [
     "RunResultCache",
     "content_key",
     "default_cache_root",
+    "plan_digest",
     "resolve_cache",
     "CACHE_SCHEMA_VERSION",
     "RunSpec",

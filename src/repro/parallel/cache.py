@@ -35,6 +35,7 @@ __all__ = [
     "content_key",
     "default_cache_root",
     "file_digest",
+    "plan_digest",
     "RunResultCache",
 ]
 
@@ -111,6 +112,20 @@ def file_digest(path: str) -> Optional[str]:
         for chunk in iter(lambda: f.read(1 << 20), b""):
             h.update(chunk)
     return h.hexdigest()
+
+
+def plan_digest(plan: Any) -> Optional[str]:
+    """Content digest of a fault/chaos plan for run cache keys.
+
+    ``None`` for no plan *and* for a plan whose interpretation is a
+    guaranteed no-op (``plan.is_empty``), so pre-existing clean-run cache
+    entries stay addressable; any non-trivial plan contributes its full
+    content hash, so a faulted run can never collide with a clean run —
+    or with a run under a different fault scenario — of the same spec.
+    """
+    if plan is None or getattr(plan, "is_empty", False):
+        return None
+    return content_key(plan)
 
 
 class RunResultCache:

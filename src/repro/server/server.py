@@ -136,6 +136,9 @@ class Server:
         self.telemetry = TelemetryChannel(self)
         self._policy: PolicyHooks = _NullPolicy()
         self._mean_work = app.service.expected_work()
+        # A paused (crashed) server accepts arrivals into the queue but never
+        # dispatches them; the cluster lifecycle flips this around crashes.
+        self._paused = False
 
     # ----------------------------------------------------------------- wiring
 
@@ -154,10 +157,45 @@ class Server:
         self.metrics.on_arrival(req)
         self.telemetry.note_arrival()
         self._policy.on_arrival(req)
-        if self._idle:
+        if self._idle and not self._paused:
             self._dispatch(self._idle.pop(), req)
         else:
             self.queue.push(req)
+
+    # ------------------------------------------------------------- node faults
+
+    @property
+    def paused(self) -> bool:
+        return self._paused
+
+    def pause(self) -> None:
+        """Stop dispatching; arrivals queue up (a down node's mailbox)."""
+        self._paused = True
+
+    def resume(self) -> None:
+        """Restart dispatching and drain whatever queued while paused."""
+        self._paused = False
+        while self.queue and self._idle:
+            self._dispatch(self._idle.pop(), self.queue.pop())
+
+    def evacuate(self) -> List[Request]:
+        """Abort all in-flight work and empty the queue (node crash).
+
+        Returns evacuated requests — in-flight ones first (worker order),
+        then queued ones FIFO — with their runtime stamps reset so a
+        lifecycle can re-dispatch or drop them.  Leaves the server paused.
+        """
+        evacuated: List[Request] = []
+        for worker in self.workers:
+            req = worker.abort()
+            if req is not None:
+                evacuated.append(req)
+        while self.queue:
+            evacuated.append(self.queue.pop())
+        self._idle = list(reversed(self.workers))
+        self._begin_times[:] = np.nan
+        self._paused = True
+        return evacuated
 
     # -------------------------------------------------------------- inspection
 
@@ -202,7 +240,7 @@ class Server:
         self.telemetry.note_completion(req.timed_out)
         self._begin_times[worker.core_id] = np.nan
         self._policy.on_complete(req, worker.core)
-        if self.queue:
+        if self.queue and not self._paused:
             self._dispatch(worker, self.queue.pop())
         else:
             self._idle.append(worker)

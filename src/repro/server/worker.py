@@ -108,6 +108,28 @@ class Worker:
             self.engine.cancel(self._completion_ev)
         self._schedule_completion()
 
+    def abort(self) -> Optional[Request]:
+        """Tear the in-flight request off this worker (node crash path).
+
+        Cancels the pending completion, clears the request's runtime stamps
+        so it can be re-dispatched cleanly elsewhere, frees the core, and
+        returns the request (None if the worker was idle).  The request does
+        NOT count as completed.
+        """
+        req = self.current
+        if req is None:
+            return None
+        if self._completion_ev is not None:
+            self.engine.cancel(self._completion_ev)
+        self.current = None
+        self._remaining_work = 0.0
+        self._completion_ev = None
+        req.start_time = None
+        req.core_id = None
+        req.effective_work = None
+        self.core.set_busy(False)
+        return req
+
     # ---------------------------------------------------------------- internal
 
     def _schedule_completion(self) -> None:

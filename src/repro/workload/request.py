@@ -35,6 +35,8 @@ class Request:
     #: Work after contention inflation applied at dispatch (GHz-seconds).
     effective_work: Optional[float] = None
     dropped: bool = field(default=False)
+    #: Times this request was evacuated off a dying node and re-dispatched.
+    retries: int = 0
 
     # ------------------------------------------------------------------ views
 

@@ -52,6 +52,42 @@ class TestValidation:
             main(["fleet", "--nodes", "0"])
         assert "must be >= 1" in capsys.readouterr().err
 
+    def test_fleet_load_must_be_positive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fleet", "--load", "0"])
+        assert "must be > 0" in capsys.readouterr().err
+
+    def test_chaos_nodes_must_be_positive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--nodes", "0"])
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_chaos_intensity_must_be_positive(self, capsys):
+        for bad in ("0", "-1"):
+            with pytest.raises(SystemExit):
+                main(["chaos", "--intensity", bad])
+            assert "must be > 0" in capsys.readouterr().err
+
+    def test_chaos_retry_budget_rejects_negative(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--retry-budget", "-1"])
+        assert "must be >= 0" in capsys.readouterr().err
+
+    def test_chaos_retry_backoff_rejects_nonpositive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--retry-backoff", "0"])
+        assert "must be > 0" in capsys.readouterr().err
+
+    def test_chaos_recovery_rejects_negative(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--recovery", "-0.5"])
+        assert "must be >= 0" in capsys.readouterr().err
+
+    def test_chaos_rejects_non_numeric(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--intensity", "heavy"])
+        assert "expected a number" in capsys.readouterr().err
+
 
 class TestFleetCommand:
     def test_fleet_run_and_group_by_node_round_trip(self, capsys, tmp_path):
@@ -68,6 +104,19 @@ class TestFleetCommand:
         out = capsys.readouterr().out
         assert "node-summary=2" in out
         assert "powercap: budget_w=" in out
+
+    def test_chaos_run_and_group_by_node_round_trip(self, capsys, tmp_path):
+        trace = str(tmp_path / "chaos.trace.jsonl")
+        assert main([
+            "chaos", "--nodes", "2", "--seed", "2023", "--trace-out", trace,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "chaos: 2 nodes" in out
+        assert "chaos: crashes=" in out and "availability=" in out
+        assert main(["trace", "summarize", trace, "--group-by", "node"]) == 0
+        out = capsys.readouterr().out
+        assert "node-summary=2" in out
+        assert "faults: crashes=" in out
 
     def test_group_by_rejects_unknown_key(self, capsys):
         with pytest.raises(SystemExit):

@@ -8,9 +8,10 @@ from repro.cluster.dispatch import (
     JoinShortestQueueRouter,
     PowerAwareRouter,
     RoundRobinRouter,
+    StragglerDetector,
     make_router,
 )
-from repro.cluster.node import ClusterNode, build_node_driver
+from repro.cluster.node import DEGRADED, DOWN, HEALTHY, ClusterNode, build_node_driver
 from repro.parallel.pool import derive_seed
 from repro.sim.engine import Engine
 from repro.workload.apps import get_app
@@ -73,6 +74,197 @@ class TestRouters:
     def test_make_router_unknown_raises(self):
         with pytest.raises(KeyError, match="unknown routing policy"):
             make_router("random")
+
+
+class TestRoutersUnderChurn:
+    """Routing determinism when the candidate set shrinks mid-run."""
+
+    def test_round_robin_cursor_survives_shrinking_candidates(self):
+        _, _, nodes = _fleet(3)
+        router = RoundRobinRouter()
+        assert router.select(nodes) == 0  # cursor now at node id 1
+        # Node 1 disappears from the candidate list: the cursor lands on
+        # the next surviving id (2), then wraps to 0.
+        survivors = [nodes[0], nodes[2]]
+        assert survivors[router.select(survivors)].node_id == 2
+        assert survivors[router.select(survivors)].node_id == 0
+        # Node 1 comes back: the rotation picks it up in id order.
+        assert nodes[router.select(nodes)].node_id == 1
+
+    def test_round_robin_single_candidate(self):
+        _, _, nodes = _fleet(3)
+        router = RoundRobinRouter()
+        only = [nodes[1]]
+        assert [router.select(only) for _ in range(3)] == [0, 0, 0]
+
+    def test_jsq_ties_break_to_first_candidate_after_shrink(self):
+        _, _, nodes = _fleet(3)
+        router = JoinShortestQueueRouter()
+        # All empty: the first listed candidate wins regardless of its id.
+        assert router.select([nodes[2], nodes[1]]) == 0
+        assert router.select([nodes[1], nodes[2]]) == 0
+
+    def test_jsq_decisions_identical_for_equal_candidate_lists(self):
+        _, _, nodes = _fleet(3)
+        nodes[0].submit(_request(1))
+        a = JoinShortestQueueRouter().select([nodes[0], nodes[2]])
+        b = JoinShortestQueueRouter().select([nodes[0], nodes[2]])
+        assert a == b == 1
+
+    def test_power_aware_ties_break_to_first_candidate(self):
+        _, _, nodes = _fleet(3)
+        # Identical backlog and capacity: first candidate wins, and the
+        # choice is a pure function of the list (no hidden state).
+        router = PowerAwareRouter()
+        assert router.select([nodes[2], nodes[0]]) == 0
+        assert router.select([nodes[2], nodes[0]]) == 0
+
+
+class TestHealthAwareDispatch:
+    def test_down_nodes_skipped_by_every_router(self):
+        for name in ("round-robin", "jsq", "power-aware"):
+            _, _, nodes = _fleet(3)
+            nodes[1].state = DOWN
+            disp = Dispatcher(nodes, make_router(name))
+            for i in range(6):
+                disp.submit(_request(i))
+            assert nodes[1].routed == 0
+            assert nodes[0].routed + nodes[2].routed == 6
+
+    def test_health_aware_off_keeps_feeding_down_nodes(self):
+        _, _, nodes = _fleet(2)
+        nodes[1].state = DOWN
+        disp = Dispatcher(nodes, RoundRobinRouter(), health_aware=False)
+        for i in range(4):
+            disp.submit(_request(i))
+        assert nodes[1].routed == 2
+
+    def test_degraded_penalty_one_excludes_while_alternative_exists(self):
+        _, _, nodes = _fleet(2)
+        nodes[0].state = DEGRADED
+        disp = Dispatcher(
+            nodes, RoundRobinRouter(),
+            rng=np.random.default_rng(0), degraded_penalty=1.0,
+        )
+        for i in range(4):
+            disp.submit(_request(i))
+        assert nodes[0].routed == 0 and nodes[1].routed == 4
+
+    def test_degraded_penalty_zero_draws_no_rng(self):
+        class Exploding:
+            def random(self):
+                raise AssertionError("rng must not be consulted")
+
+        _, _, nodes = _fleet(2)
+        nodes[0].state = DEGRADED
+        disp = Dispatcher(
+            nodes, RoundRobinRouter(), rng=Exploding(), degraded_penalty=0.0,
+        )
+        for i in range(4):
+            disp.submit(_request(i))
+        assert nodes[0].routed == 2
+
+    def test_all_degraded_draws_no_rng(self):
+        class Exploding:
+            def random(self):
+                raise AssertionError("rng must not be consulted")
+
+        _, _, nodes = _fleet(2)
+        nodes[0].state = nodes[1].state = DEGRADED
+        disp = Dispatcher(
+            nodes, RoundRobinRouter(), rng=Exploding(), degraded_penalty=0.5,
+        )
+        disp.submit(_request(0))
+        assert disp.dispatched == 1
+
+    def test_invalid_penalty_rejected(self):
+        _, _, nodes = _fleet(1)
+        with pytest.raises(ValueError, match="degraded_penalty"):
+            Dispatcher(nodes, RoundRobinRouter(), degraded_penalty=1.5)
+
+    def test_all_down_marks_unroutable(self):
+        _, _, nodes = _fleet(2)
+        for n in nodes:
+            n.state = DOWN
+        disp = Dispatcher(nodes, RoundRobinRouter())
+        req = _request(0)
+        disp.submit(req)
+        assert disp.unroutable == 1 and disp.dispatched == 0
+        assert req.dropped
+
+    def test_unroutable_callback_overrides_drop(self):
+        _, _, nodes = _fleet(1)
+        nodes[0].state = DOWN
+        seen = []
+        disp = Dispatcher(nodes, RoundRobinRouter(), on_unroutable=seen.append)
+        req = _request(0)
+        disp.submit(req)
+        assert seen == [req]
+        assert not req.dropped
+
+
+class TestStragglerDetector:
+    def _detector(self, nodes, **over):
+        return StragglerDetector(nodes, min_samples=3, **over)
+
+    def _feed(self, node, latencies):
+        node.server.metrics.latencies.extend(latencies)
+
+    def test_flags_and_clears_straggler(self):
+        _, _, nodes = _fleet(3)
+        changes = []
+        det = self._detector(
+            nodes, multiple=3.0,
+            on_change=lambda n, s: changes.append((n.node_id, s)),
+        )
+        self._feed(nodes[0], [0.01] * 5)
+        self._feed(nodes[1], [0.01] * 5)
+        self._feed(nodes[2], [0.5] * 5)  # way above 3x the fleet median
+        det.check()
+        assert nodes[2].state == DEGRADED
+        assert changes == [(2, DEGRADED)]
+        # Next window: node 2 back in line -> restored.
+        self._feed(nodes[0], [0.01] * 5)
+        self._feed(nodes[1], [0.01] * 5)
+        self._feed(nodes[2], [0.012] * 5)
+        det.check()
+        assert nodes[2].state == HEALTHY
+        assert det.transitions == [(2, DEGRADED), (2, HEALTHY)]
+
+    def test_needs_min_samples_and_two_finite_windows(self):
+        _, _, nodes = _fleet(2)
+        det = self._detector(nodes)
+        self._feed(nodes[0], [0.01] * 5)
+        self._feed(nodes[1], [0.9] * 2)  # below min_samples: no verdict
+        det.check()
+        assert nodes[1].state == HEALTHY
+
+    def test_cursor_advances_even_without_verdict(self):
+        """Stale pre-crash samples cannot condemn a node that came back."""
+        _, _, nodes = _fleet(2)
+        det = self._detector(nodes)
+        self._feed(nodes[1], [5.0] * 5)  # horrible, but only one window
+        det.check()  # < 2 finite windows: no verdict, cursor advances
+        self._feed(nodes[0], [0.01] * 5)
+        self._feed(nodes[1], [0.011] * 5)
+        det.check()
+        assert nodes[1].state == HEALTHY
+
+    def test_down_nodes_left_to_lifecycle(self):
+        _, _, nodes = _fleet(3)
+        det = self._detector(nodes)
+        nodes[2].state = DOWN
+        for n in nodes:
+            self._feed(n, [0.01] * 5)
+        self._feed(nodes[2], [9.9] * 5)
+        det.check()
+        assert nodes[2].state == DOWN  # untouched
+        assert det.transitions == []
+
+    def test_multiple_validated(self):
+        _, _, nodes = _fleet(1)
+        with pytest.raises(ValueError, match="multiple"):
+            StragglerDetector(nodes, multiple=1.0)
 
 
 class TestDispatcher:

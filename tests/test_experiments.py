@@ -174,3 +174,75 @@ class TestRenderers:
         for eid in ("fig5",):
             out = get_experiment(eid).execute()
             assert isinstance(out, str) and len(out) > 10
+
+
+class TestChaosExperiment:
+    def test_registered(self):
+        assert "chaos" in REGISTRY
+        assert "failover" in REGISTRY["chaos"].description
+
+    def test_render_contrasts_failover_and_ablation(self):
+        from repro.experiments.chaos import render_chaos
+
+        def fleet(p99, met):
+            return {
+                "avg_power_watts": 60.0, "energy_joules": 3600.0,
+                "tail_latency": p99, "sla": 0.08, "sla_met": met,
+                "timeout_rate": 0.01,
+            }
+
+        result = {
+            "profile": "smoke", "app": "xapian", "num_nodes": 4,
+            "cores_per_node": 2, "seed": 2023,
+            "rows": [
+                {"routing": "round-robin", "intensity": 0.0, "failover": True,
+                 "metrics": {"fleet": fleet(0.07, True), "crashes": 0,
+                             "redispatches": 0, "dropped_requests": 0,
+                             "fleet_availability": 1.0}},
+                {"routing": "round-robin", "intensity": 1.0, "failover": True,
+                 "metrics": {"fleet": fleet(0.078, True), "crashes": 2,
+                             "redispatches": 3, "dropped_requests": 0,
+                             "fleet_availability": 0.93}},
+                {"routing": "round-robin", "intensity": 1.0, "failover": False,
+                 "metrics": {"fleet": fleet(10.6, False), "crashes": 2,
+                             "redispatches": 0, "dropped_requests": 0,
+                             "fleet_availability": 0.93}},
+                {"routing": "jsq", "intensity": 1.0, "failover": True,
+                 "error": "boom"},
+            ],
+        }
+        out = render_chaos(result)
+        assert "chaos: 4 nodes" in out
+        assert "met" in out and "MISS" in out
+        assert "NO" in out  # the ablation row is flagged
+        assert "ERROR" in out
+
+    def test_run_chaos_grid_shape_smoke(self, monkeypatch):
+        """The grid builder fans the right cells without running sims."""
+        import repro.experiments.chaos as chaos_mod
+
+        captured = {}
+
+        def fake_run_grid(specs, jobs=1, cache=None, trace_dir=None):
+            captured["specs"] = list(specs)
+
+            class _O:
+                ok = False
+                error = "stubbed"
+
+            return [_O()] * len(captured["specs"])
+
+        monkeypatch.setattr(chaos_mod, "run_grid", fake_run_grid)
+        result = chaos_mod.run_chaos(full=False, num_nodes=2, seed=5)
+        specs = captured["specs"]
+        # routings x intensities + one ablation row per routing.
+        assert len(specs) == len(chaos_mod.CHAOS_ROUTINGS) * (
+            len(chaos_mod.CHAOS_INTENSITIES) + 1
+        )
+        # Intensity-0 baseline rows carry no fault plan (clean cache key).
+        baseline = [s for s in specs if s.fault_plan is None]
+        assert len(baseline) == len(chaos_mod.CHAOS_ROUTINGS)
+        ablations = [s for s in specs if s.health_aware is False]
+        assert len(ablations) == len(chaos_mod.CHAOS_ROUTINGS)
+        assert all(s.fault_plan is not None for s in ablations)
+        assert all("error" in row for row in result["rows"])

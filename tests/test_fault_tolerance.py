@@ -295,6 +295,55 @@ class TestWatchdog:
             advance(True)
         assert wd.current_cooldown == 2
 
+    def test_repeated_back_to_back_faults_saturate_backoff(self):
+        """A persistently flapping fleet: trip -> recover -> immediate
+        relapse, over and over.  The cooldown must double per relapse up
+        to the configured cap and the watchdog must keep trip/recovery
+        accounting consistent throughout."""
+        wd = self._wd(max_cooldown_steps=8)
+        now = [0.0]
+
+        def advance(stale):
+            now[0] += 1.0
+            return self._step(wd, stale=stale, now=now[0])
+
+        expected_cooldowns = [2, 4, 8, 8, 8]  # doubles, then pins at the cap
+        for round_no, expected in enumerate(expected_cooldowns):
+            for _ in range(3):  # back-to-back anomalous steps re-trip
+                advance(True)
+            assert wd.tripped, f"round {round_no} failed to trip"
+            # The backoff is applied at (re-)trip time.
+            assert wd.current_cooldown == expected
+            healthy = 0
+            while wd.tripped:
+                advance(False)
+                healthy += 1
+            # Re-arm took exactly the backed-off cooldown of this round.
+            assert healthy == expected
+        assert wd.trips == len(expected_cooldowns)
+        assert wd.recoveries == len(expected_cooldowns)
+
+    def test_trip_during_cooldown_resets_healthy_streak(self):
+        """An anomalous step mid-cooldown re-trips instead of re-arming."""
+        wd = self._wd()
+        now = [0.0]
+
+        def advance(stale):
+            now[0] += 1.0
+            return self._step(wd, stale=stale, now=now[0])
+
+        for _ in range(3):
+            advance(True)
+        assert wd.tripped and wd.trips == 1
+        advance(False)  # one healthy step of the two needed
+        for _ in range(3):
+            advance(True)  # fault storm resumes before re-arm
+        assert wd.tripped
+        assert wd.recoveries == 0  # never recovered in between
+        advance(False)
+        assert advance(False) == "rearm"
+        assert wd.recoveries == 1
+
     def test_screen_substitutions(self):
         wd = self._wd()
         wd.begin_step()

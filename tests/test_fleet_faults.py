@@ -1,0 +1,160 @@
+"""Tests for fleet-level fault plans (FleetEvent / FleetFaultPlan)."""
+
+import pytest
+
+from repro.faults import (
+    FLEET_FAULT_KINDS,
+    FaultPlan,
+    FleetEvent,
+    FleetFaultPlan,
+    standard_chaos_plan,
+)
+
+
+class TestFleetEvent:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fleet fault kind"):
+            FleetEvent(1.0, "node.teleport", duration=1.0)
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError, match="time"):
+            FleetEvent(-1.0, "node.crash", duration=1.0)
+        with pytest.raises(ValueError, match="duration"):
+            FleetEvent(1.0, "node.crash", duration=0.0)
+        with pytest.raises(ValueError, match="node"):
+            FleetEvent(1.0, "node.crash", node=-1, duration=1.0)
+        with pytest.raises(ValueError, match="span"):
+            FleetEvent(1.0, "rack.fail", span=0, duration=1.0)
+
+    def test_end_is_window_close(self):
+        ev = FleetEvent(2.0, "telemetry.partition", duration=3.0)
+        assert ev.end == 5.0
+
+    def test_all_kinds_constructible(self):
+        for kind in FLEET_FAULT_KINDS:
+            assert FleetEvent(0.0, kind, duration=1.0).kind == kind
+
+
+class TestFleetFaultPlan:
+    def test_events_sorted_by_time_node_kind(self):
+        plan = FleetFaultPlan(events=(
+            FleetEvent(5.0, "node.crash", node=1, duration=1.0),
+            FleetEvent(1.0, "telemetry.partition", node=0, duration=1.0),
+            FleetEvent(1.0, "node.crash", node=0, duration=1.0),
+        ))
+        assert [(e.time, e.kind) for e in plan.events] == [
+            (1.0, "node.crash"),
+            (1.0, "telemetry.partition"),
+            (5.0, "node.crash"),
+        ]
+
+    def test_node_plans_sorted_and_validated(self):
+        plan = FleetFaultPlan(node_plans=(
+            (2, FaultPlan()), (0, FaultPlan(dvfs_fail_prob=0.1)),
+        ))
+        assert [node_id for node_id, _ in plan.node_plans] == [0, 2]
+        with pytest.raises(ValueError, match="duplicate node plan"):
+            FleetFaultPlan(node_plans=((1, FaultPlan()), (1, FaultPlan())))
+        with pytest.raises(ValueError, match="node id"):
+            FleetFaultPlan(node_plans=((-1, FaultPlan()),))
+        with pytest.raises(TypeError, match="FaultPlan"):
+            FleetFaultPlan(node_plans=((0, "not-a-plan"),))
+
+    def test_recovery_knobs_validated(self):
+        with pytest.raises(ValueError, match="retry_budget"):
+            FleetFaultPlan(retry_budget=-1)
+        with pytest.raises(ValueError, match="retry_backoff"):
+            FleetFaultPlan(retry_backoff=0.0)
+        with pytest.raises(ValueError, match="recovery_time"):
+            FleetFaultPlan(recovery_time=-1.0)
+
+    def test_empty_plan_detection(self):
+        assert FleetFaultPlan().is_empty
+        # A node plan that is itself empty keeps the fleet plan empty.
+        assert FleetFaultPlan(node_plans=((0, FaultPlan()),)).is_empty
+        assert not FleetFaultPlan(
+            node_plans=((0, FaultPlan(dvfs_fail_prob=0.1)),)
+        ).is_empty
+        assert not FleetFaultPlan(
+            events=(FleetEvent(1.0, "node.crash", duration=1.0),)
+        ).is_empty
+
+    def test_events_of_exact_kind(self):
+        plan = FleetFaultPlan(events=(
+            FleetEvent(1.0, "node.crash", duration=1.0),
+            FleetEvent(2.0, "rack.fail", duration=1.0),
+            FleetEvent(3.0, "node.crash", duration=1.0),
+        ))
+        assert len(plan.events_of("node.crash")) == 2
+        assert len(plan.events_of("rack.fail")) == 1
+        assert plan.events_of("telemetry.partition") == ()
+
+
+class TestStandardChaosPlan:
+    def test_argument_validation(self):
+        with pytest.raises(ValueError, match="intensity"):
+            standard_chaos_plan(-0.1, 4, 60.0)
+        with pytest.raises(ValueError, match="num_nodes"):
+            standard_chaos_plan(1.0, 0, 60.0)
+        with pytest.raises(ValueError, match="duration"):
+            standard_chaos_plan(1.0, 4, 0.0)
+
+    def test_zero_intensity_is_empty(self):
+        plan = standard_chaos_plan(0.0, 4, 60.0, seed=9)
+        assert plan.is_empty
+        assert plan.seed == 9
+
+    def test_backbone_events_present(self):
+        plan = standard_chaos_plan(1.0, 8, 100.0)
+        assert len(plan.events_of("node.crash")) == 1
+        assert len(plan.events_of("rack.fail")) == 1
+        assert len(plan.events_of("telemetry.partition")) == 1
+        (crash,) = plan.events_of("node.crash")
+        assert crash.time == 25.0 and crash.duration == 20.0
+        (rack,) = plan.events_of("rack.fail")
+        assert rack.node == 4 and rack.span == 2
+        assert len(plan.node_plans) == 8
+
+    def test_single_node_fleet_has_no_rack_event(self):
+        plan = standard_chaos_plan(1.0, 1, 60.0)
+        assert plan.events_of("rack.fail") == ()
+        (crash,) = plan.events_of("node.crash")
+        assert crash.node == 0  # 1 % num_nodes wraps onto the only node
+
+    def test_same_seed_same_plan(self):
+        a = standard_chaos_plan(1.0, 4, 60.0, seed=3)
+        b = standard_chaos_plan(1.0, 4, 60.0, seed=3)
+        assert a == b
+
+    def test_seed_namespaces_node_plans(self):
+        a = standard_chaos_plan(1.0, 4, 60.0, seed=3)
+        b = standard_chaos_plan(1.0, 4, 60.0, seed=4)
+        assert a != b
+        seeds = {p.seed for _, p in a.node_plans}
+        assert len(seeds) == 4  # per-node derived seeds all distinct
+
+    def test_intensity_scales_durations_and_rates(self):
+        mild = standard_chaos_plan(0.5, 4, 100.0)
+        wild = standard_chaos_plan(1.0, 4, 100.0)
+        assert mild.events_of("node.crash")[0].duration < \
+            wild.events_of("node.crash")[0].duration
+        assert mild.node_plans[0][1].dvfs_fail_prob < \
+            wild.node_plans[0][1].dvfs_fail_prob
+        # Intensity above 1 stops stretching outages but keeps raising rates.
+        wilder = standard_chaos_plan(2.0, 4, 100.0)
+        assert wilder.events_of("node.crash")[0].duration == \
+            wild.events_of("node.crash")[0].duration
+        assert wilder.node_plans[0][1].dvfs_fail_prob > \
+            wild.node_plans[0][1].dvfs_fail_prob
+
+    def test_recovery_knobs_forwarded(self):
+        plan = standard_chaos_plan(
+            1.0, 4, 60.0, retry_budget=5, retry_backoff=0.1,
+            recovery_time=2.5, drop_in_flight=True,
+        )
+        assert plan.retry_budget == 5
+        assert plan.retry_backoff == 0.1
+        assert plan.recovery_time == 2.5
+        assert plan.drop_in_flight
+        # Default recovery dwell is 5 % of the trace.
+        assert standard_chaos_plan(1.0, 4, 60.0).recovery_time == 3.0

@@ -108,6 +108,33 @@ class TestReadTrace:
         with pytest.raises(TraceError, match="bad JSON"):
             list(read_trace(str(p)))
 
+    def test_lenient_tolerates_line_torn_mid_utf8(self, tmp_path):
+        """A crash can cut a line inside a multi-byte UTF-8 character;
+        lenient reads treat that as truncation, not a decode crash."""
+        p = tmp_path / "torn.jsonl"
+        whole = json.dumps(
+            {"kind": "trace-header", "schema": TRACE_SCHEMA, "meta": {}}
+        ).encode() + b"\n"
+        torn = json.dumps({"kind": "note", "msg": "café"}).encode()
+        p.write_bytes(whole + torn[:-3])  # cut inside the 2-byte é
+        events = list(read_trace(str(p), strict=False))
+        assert [e["kind"] for e in events] == ["trace-header"]
+        with pytest.raises(TraceError, match="bad JSON"):
+            list(read_trace(str(p)))
+
+    def test_non_object_line_rejected_strict_stops_lenient(self, tmp_path):
+        p = tmp_path / "scalar.jsonl"
+        p.write_text(
+            json.dumps({"kind": "trace-header", "schema": TRACE_SCHEMA, "meta": {}})
+            + "\n[1, 2, 3]\n"
+            + json.dumps({"kind": "after"})
+            + "\n"
+        )
+        with pytest.raises(TraceError, match="not a JSON object"):
+            list(read_trace(str(p)))
+        events = list(read_trace(str(p), strict=False))
+        assert [e["kind"] for e in events] == ["trace-header"]
+
     def test_falls_back_to_part_file(self, tmp_path):
         path = str(tmp_path / "t.jsonl")
         tw = TraceWriter(path)

@@ -12,6 +12,7 @@ from repro.parallel.cache import (
     content_key,
     default_cache_root,
     file_digest,
+    plan_digest,
     resolve_cache,
 )
 
@@ -67,6 +68,58 @@ class TestFileDigest:
         d1 = file_digest(str(p))
         p.write_bytes(b"weights-v2")
         assert file_digest(str(p)) != d1
+
+
+class TestPlanDigest:
+    def test_none_and_empty_plans_share_the_null_digest(self):
+        """Absent plan and empty plan are the same simulation, so they must
+        hit the same cache entries as historical (pre-chaos) runs."""
+        from repro.faults import FleetFaultPlan
+
+        assert plan_digest(None) is None
+        assert plan_digest(FleetFaultPlan()) is None
+
+    def test_active_plan_digest_tracks_content(self):
+        from repro.faults import FleetEvent, FleetFaultPlan
+
+        crash = FleetFaultPlan(
+            events=(FleetEvent(1.0, "node.crash", node=1, duration=2.0),)
+        )
+        same = FleetFaultPlan(
+            events=(FleetEvent(1.0, "node.crash", node=1, duration=2.0),)
+        )
+        other = FleetFaultPlan(
+            events=(FleetEvent(1.0, "node.crash", node=1, duration=3.0),)
+        )
+        assert plan_digest(crash) is not None
+        assert plan_digest(crash) == plan_digest(same)
+        assert plan_digest(crash) != plan_digest(other)
+
+    def test_fleet_spec_cache_key_regression(self):
+        """The bug this guards: a chaos cell and a clean cell of the same
+        spec used to share a cache key, so whichever ran first poisoned the
+        other's results."""
+        from repro.cluster.sim import FleetSpec
+        from repro.faults import FleetEvent, FleetFaultPlan
+        from repro.workload.trace import constant_trace
+
+        trace = constant_trace(10.0, 4.0)
+        plan = FleetFaultPlan(
+            events=(FleetEvent(1.0, "node.crash", node=1, duration=2.0),)
+        )
+
+        def key(**over):
+            spec = FleetSpec(
+                app="xapian", policy="retail", trace=trace, num_nodes=2,
+                cores_per_node=2, seed=7, **over,
+            )
+            return content_key(spec.cache_payload())
+
+        assert key() != key(fault_plan=plan)
+        assert key() == key(fault_plan=FleetFaultPlan())  # empty plan = clean
+        assert key(fault_plan=plan) != key(fault_plan=plan, health_aware=False)
+        assert key() != key(degraded_penalty=0.9)
+        assert key() != key(straggler_multiple=4.0)
 
 
 class TestRunResultCache:

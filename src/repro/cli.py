@@ -92,6 +92,66 @@ def _nonneg_int(value: str) -> int:
     return n
 
 
+def _out_file_arg(value: str) -> str:
+    """argparse type for output file paths (``--trace-out``, ``--metrics-out``).
+
+    Fails fast — before minutes of simulation — when the write is doomed:
+    missing parent directory, unwritable parent, or the path naming an
+    existing directory / read-only file.
+    """
+    parent = os.path.dirname(os.path.abspath(value))
+    if not os.path.isdir(parent):
+        raise argparse.ArgumentTypeError(
+            f"cannot write {value!r}: parent directory {parent!r} does not "
+            "exist (create it first, e.g. mkdir -p)"
+        )
+    if not os.access(parent, os.W_OK):
+        raise argparse.ArgumentTypeError(
+            f"cannot write {value!r}: directory {parent!r} is not writable"
+        )
+    if os.path.isdir(value):
+        raise argparse.ArgumentTypeError(
+            f"cannot write {value!r}: it is a directory, expected a file path"
+        )
+    if os.path.exists(value) and not os.access(value, os.W_OK):
+        raise argparse.ArgumentTypeError(
+            f"cannot write {value!r}: file exists and is not writable"
+        )
+    return value
+
+
+def _out_dir_arg(value: str) -> str:
+    """argparse type for output directories (``--trace-dir``).
+
+    The directory itself is created on demand, but its parent must already
+    exist and be writable — a deeply nonexistent path is almost always a
+    typo, better rejected now than after the runs complete.
+    """
+    path = os.path.abspath(value)
+    if os.path.isdir(path):
+        if not os.access(path, os.W_OK):
+            raise argparse.ArgumentTypeError(
+                f"cannot use {value!r}: directory is not writable"
+            )
+        return value
+    if os.path.exists(path):
+        raise argparse.ArgumentTypeError(
+            f"cannot use {value!r}: exists and is not a directory"
+        )
+    parent = os.path.dirname(path)
+    if not os.path.isdir(parent):
+        raise argparse.ArgumentTypeError(
+            f"cannot create {value!r}: parent directory {parent!r} does not "
+            "exist (create it first, e.g. mkdir -p)"
+        )
+    if not os.access(parent, os.W_OK):
+        raise argparse.ArgumentTypeError(
+            f"cannot create {value!r}: parent directory {parent!r} is not "
+            "writable"
+        )
+    return value
+
+
 def _power_cap_arg(value: str):
     """argparse type for ``--power-cap``: positive watts or ``auto``."""
     if value == "auto":
@@ -417,6 +477,45 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _cmd_soak(args) -> int:
+    from .experiments.soak import render_soak, run_soak
+
+    intensities = []
+    for chunk in args.intensities.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        try:
+            x = float(chunk)
+        except ValueError:
+            print(f"--intensities expects numbers, got {chunk!r}", file=sys.stderr)
+            return 2
+        if x < 0:
+            print(f"--intensities must be >= 0, got {x:g}", file=sys.stderr)
+            return 2
+        intensities.append(x)
+    if not intensities:
+        print("--intensities is empty", file=sys.stderr)
+        return 2
+    result = run_soak(
+        app_name=args.app,
+        intensities=intensities,
+        seed=args.seed,
+        full=args.full,
+        use_cache=not args.no_cache,
+        trace_dir=args.trace_dir,
+        policy=args.policy,
+    )
+    print(
+        f"control-soak: app={result['app']}, profile={result['profile']}, "
+        f"policy={result['policy']}, seed={result['seed']}"
+    )
+    print(render_soak(result))
+    if args.trace_dir:
+        print(f"per-cell traces written to {args.trace_dir}")
+    return 0
+
+
 def _cmd_trace(args) -> int:
     from .obs import (
         TraceError,
@@ -469,7 +568,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="bypass the content-addressed run-result cache under REPRO_CACHE",
     )
     sp.add_argument(
-        "--trace-dir", default=None,
+        "--trace-dir", type=_out_dir_arg, default=None,
         help="write a JSONL observability trace per grid cell into this "
         "directory (traced cells always execute, bypassing the result cache)",
     )
@@ -501,12 +600,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume training from the newest valid snapshot",
     )
     sp.add_argument(
-        "--trace-out", default=None,
+        "--trace-out", type=_out_file_arg, default=None,
         help="write a schema-versioned JSONL observability trace of the "
         "whole training run here",
     )
     sp.add_argument(
-        "--metrics-out", default=None,
+        "--metrics-out", type=_out_file_arg, default=None,
         help="write the final metrics-registry snapshot (JSON) here",
     )
     sp.add_argument(
@@ -554,7 +653,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sp.add_argument("--full", action="store_true", help="full-scale profile")
     sp.add_argument(
-        "--trace-out", default=None,
+        "--trace-out", type=_out_file_arg, default=None,
         help="write a node-tagged JSONL fleet trace here "
         "(inspect with: deeppower trace summarize FILE --group-by node)",
     )
@@ -630,12 +729,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sp.add_argument("--full", action="store_true", help="full-scale profile")
     sp.add_argument(
-        "--trace-out", default=None,
+        "--trace-out", type=_out_file_arg, default=None,
         help="write a node-tagged JSONL chaos trace here, including "
         "node-down/node-up/redispatch events "
         "(inspect with: deeppower trace summarize FILE --group-by node)",
     )
     sp.set_defaults(fn=_cmd_chaos)
+
+    sp = sub.add_parser(
+        "soak",
+        help="soak the DeepPower control loop over a lossy message bus, "
+        "sweeping fault intensity against a no-degraded-mode ablation",
+    )
+    sp.add_argument("--app", default="xapian")
+    sp.add_argument(
+        "--intensities", default="0,0.5,1",
+        help="comma-separated bus-fault intensities (>= 0; 0 doubles as "
+        "the direct-vs-bus bitwise identity check)",
+    )
+    sp.add_argument(
+        "--seed", type=int, default=7,
+        help="seeds both the trained agent and the bus fault plan",
+    )
+    sp.add_argument(
+        "--policy", choices=("reactive", "trained"), default="reactive",
+        help="top-layer policy: 'reactive' (deterministic load-following; "
+        "isolates the control-plane variable) or 'trained' (cached DDPG)",
+    )
+    sp.add_argument("--full", action="store_true", help="full-scale profile")
+    sp.add_argument(
+        "--no-cache", action="store_true",
+        help="retrain the agent instead of reusing the cached one "
+        "(--policy trained only)",
+    )
+    sp.add_argument(
+        "--trace-dir", type=_out_dir_arg, default=None,
+        help="write one JSONL trace per soak cell into this directory "
+        "(bus-drop / stale-window / cmd-retry / deadline-miss events "
+        "included; inspect with: deeppower trace summarize FILE)",
+    )
+    sp.set_defaults(fn=_cmd_soak)
 
     sp = sub.add_parser("trace", help="inspect a JSONL observability trace")
     sp.add_argument("action", help="what to do with the trace (summarize)")
@@ -648,10 +781,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--group-by", default=None, choices=["node"],
         help="aggregate a fleet trace per node instead of per interval",
     )
-    sp.add_argument(
+    strictness = sp.add_mutually_exclusive_group()
+    strictness.add_argument(
+        "--strict", action="store_true",
+        help="fail on malformed, truncated or empty traces (the default; "
+        "spelled out for scripts that want to be explicit)",
+    )
+    strictness.add_argument(
         "--lenient", action="store_true",
-        help="tolerate truncated/unfinished traces (e.g. a .part file "
-        "from a crashed run)",
+        help="tolerate truncated/unfinished/empty traces (e.g. a .part "
+        "file from a crashed run): summarize what parsed, warn about "
+        "the rest",
     )
     sp.set_defaults(fn=_cmd_trace)
     return p

@@ -20,6 +20,22 @@ SLA-safe fallback governor takes the cores, and the DRL loop stays benched
 until telemetry has been healthy for the (exponentially backed-off)
 cooldown.  Trips, recoveries and per-step anomaly counts are exposed on
 :class:`StepRecord` and via :meth:`DeepPowerRuntime.watchdog_stats`.
+
+**Control-plane (bus) mode** — attach a
+:class:`~repro.control.ControlPlaneConfig` via ``config.control`` and the
+runtime stops calling sensors/actuators directly: a
+:class:`~repro.control.NodeEndpoint` owns telemetry sampling and the
+thread controller, and the policy loop exchanges schema-versioned
+``SensorReading`` / ``ActuatorCommand`` / ``CommandAck`` messages with it
+over an :class:`~repro.control.InProcessBus`.  With a perfect transport
+the run is bitwise identical to direct calls (same snapshot/energy
+instants, same action application points, no extra randomness).  Under a
+:class:`~repro.faults.bus.BusFaultPlan`, degraded-mode control takes
+over: stale windows hold the last action and are flagged, unacked
+commands are retried idempotently, and sustained outages escalate —
+controller side to broadcasting the safe action, node side into the
+safe-fallback governor — with ``stale-window`` / ``cmd-retry`` /
+``deadline-miss`` / ``bus-drop`` events in the trace.
 """
 
 from __future__ import annotations
@@ -33,6 +49,13 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..checkpoint import CheckpointManager
 
+from ..control import (
+    ActuatorCommand,
+    CONTROL_SCHEMA,
+    ControlPlaneConfig,
+    InProcessBus,
+    NodeEndpoint,
+)
 from ..cpu.governors import Governor
 from ..cpu.rapl import PowerMonitor
 from ..faults.watchdog import Watchdog, WatchdogConfig, make_fallback_governor
@@ -73,6 +96,9 @@ class DeepPowerConfig:
     checkpoint: Optional["CheckpointManager"] = None
     #: DRL steps between autosaves (0 = autosave disabled).
     checkpoint_every_steps: int = 0
+    #: Run the control loop over the message bus instead of direct calls;
+    #: None = the historical direct-call wiring.
+    control: Optional[ControlPlaneConfig] = None
 
 
 @dataclass(frozen=True)
@@ -80,7 +106,7 @@ class StepRecord:
     """Diagnostics for one DRL step (drives Fig 8's time series)."""
 
     time: float
-    state: np.ndarray
+    state: Optional[np.ndarray]
     action: np.ndarray
     reward: Optional[RewardBreakdown]
     power_watts: float
@@ -92,6 +118,9 @@ class StepRecord:
     fallback: bool = False
     #: Anomalies the watchdog screened out of this step's inputs.
     anomalies: int = 0
+    #: Whether the bus control loop ran degraded this step (stale
+    #: telemetry hold, safe-mode broadcast, or known-lost actuation).
+    degraded: bool = False
 
 
 class DeepPowerRuntime:
@@ -170,6 +199,44 @@ class DeepPowerRuntime:
             self._m_ckpts = m.counter("checkpoint.saves")
             self._g_reward = m.gauge("drl.reward")
             self._g_power = m.gauge("power.watts")
+        # Control plane (bus mode); None = direct calls.
+        self._ctl = self.cfg.control
+        self.bus: Optional[InProcessBus] = None
+        self._endpoint: Optional[NodeEndpoint] = None
+        if self._ctl is not None:
+            self.bus = InProcessBus(
+                engine,
+                capacity=self._ctl.capacity,
+                fault_plan=self._ctl.fault_plan,
+                trace=self._trace,
+            )
+            self._endpoint = NodeEndpoint(
+                engine,
+                server,
+                monitor,
+                self.controller,
+                self.bus,
+                self._ctl,
+                long_time=self.cfg.long_time,
+                trace=self._trace,
+            )
+            self._bus_reading_seq = 0
+            self._bus_cmd_seq = 0
+            self._bus_pending: Optional[dict] = None
+            self._bus_last_action = np.asarray(self._ctl.safe_action, dtype=float)
+            self._bus_stale_count = 0
+            self._bus_safe_mode = False
+            self._bus_recovery = 0
+            self._bus_stats = {
+                "stale_windows": 0,
+                "blind_windows": 0,
+                "safe_escalations": 0,
+                "deadline_misses": 0,
+                "retries": 0,
+                "commands_lost": 0,
+                "suppressed_readings": 0,
+                "bad_schema": 0,
+            }
 
     # ----------------------------------------------------------------- control
 
@@ -193,20 +260,42 @@ class DeepPowerRuntime:
         self.controller.start()
         self._last_tick_count = self.controller.tick_count
         self._last_switches = self.server.cpu.total_switches()
-        snap = self.server.telemetry.snapshot()  # empty initial window
-        self.monitor.window_energy()  # (re-)zero the energy window
-        s1 = self.observer.observe(snap)
-        a1 = self.agent.act(s1, explore=self.cfg.train)
-        self.controller.set_params(a1[0], a1[1])
-        self._prev = (s1, a1)
+        if self._ctl is None:
+            snap = self.server.telemetry.snapshot()  # empty initial window
+            self.monitor.window_energy()  # (re-)zero the energy window
+            s1 = self.observer.observe(snap)
+            a1 = self.agent.act(s1, explore=self.cfg.train)
+            self.controller.set_params(a1[0], a1[1])
+            self._prev = (s1, a1)
+            step = self._drl_step
+        else:
+            # Bus mode: the endpoint owns the windows.  Its start() takes
+            # the initial (empty) snapshot + energy window at the same
+            # instants the direct path would, and publishes them; the
+            # first command travels back over the bus and is applied by
+            # the endpoint's delivery event before any controller tick.
+            self._endpoint.start()
+            first = self._ingest_readings()
+            if first is not None:
+                s1 = self.observer.observe(first.snapshot)
+                a1 = self.agent.act(s1, explore=self.cfg.train)
+                self._prev = (s1, a1)
+            else:
+                # The bus is already lossy at t=0: start blind on the
+                # safe action and let the degraded machinery take over.
+                a1 = np.asarray(self._ctl.safe_action, dtype=float)
+            self._publish_action(a1)
+            step = self._drl_step_bus
         self._task = self.engine.every(
-            self.cfg.long_time, self._drl_step, priority=PRIORITY_CONTROL + 1
+            self.cfg.long_time, step, priority=PRIORITY_CONTROL + 1
         )
 
     def stop(self) -> None:
         self.controller.stop()
         if self._fallback is not None:
             self._fallback.stop()
+        if self._endpoint is not None:
+            self._endpoint.stop()
         if self._task is not None:
             self._task.stop()
         self._prev = None  # the next start() must not reuse a stale state
@@ -214,14 +303,66 @@ class DeepPowerRuntime:
     # ------------------------------------------------------------------- steps
 
     def _drl_step(self) -> None:
-        """Algorithm 2 lines 9-18: one observe/reward/act/train cycle.
+        """Algorithm 2 lines 9-18 (direct mode): sample then step."""
+        snap = self.server.telemetry.snapshot()
+        energy = self.monitor.window_energy()
+        self._step_with_window(snap, energy)
+
+    def _drl_step_bus(self) -> None:
+        """One DRL interval at the controller end of the bus.
+
+        Services acks/retries, ingests whatever readings the bus
+        delivered, and dispatches: a fresh (same-tick) reading runs the
+        normal policy step; a stale window runs the degraded-mode hold /
+        escalation ladder; the ablation (``degraded_mode=False``) trusts
+        any reading it has and never protects itself.
+        """
+        ctl = self._ctl
+        self._service_acks()
+        newest = self._ingest_readings()
+        now = self.engine.now
+        if not ctl.degraded_mode:
+            if newest is not None:
+                self._step_with_window(newest.snapshot, newest.energy)
+            else:
+                self._bus_stats["blind_windows"] += 1
+                self._record_degraded_step(self._bus_last_action, degraded=False)
+            return
+        fresh = (
+            newest is not None
+            and now - newest.t_sent <= ctl.stale_tolerance + 1e-12
+        )
+        if not fresh:
+            self._stale_step(have_reading=newest is not None)
+            return
+        if self._bus_safe_mode:
+            self._bus_recovery += 1
+            if self._bus_recovery < ctl.recovery_windows:
+                # Recovery dwell: telemetry is back but trust rebuilds
+                # over recovery_windows windows; keep broadcasting the
+                # safe action (no learning) until then.
+                self._step_with_window(
+                    newest.snapshot, newest.energy, degraded=True, force_safe=True
+                )
+                return
+            self._bus_safe_mode = False
+            self._bus_recovery = 0
+        self._bus_stale_count = 0
+        self._step_with_window(newest.snapshot, newest.energy)
+
+    def _step_with_window(
+        self,
+        snap,
+        energy: float,
+        degraded: bool = False,
+        force_safe: bool = False,
+    ) -> None:
+        """One observe/reward/act/train cycle over a telemetry window.
 
         With a watchdog attached, the step's inputs are screened first and
         the trip/re-arm verdict is applied at the end; while tripped the
         agent is bypassed entirely and the fallback governor owns the cores.
         """
-        snap = self.server.telemetry.snapshot()
-        energy = self.monitor.window_energy()
         wd = self.watchdog
         if wd is not None:
             wd.begin_step()
@@ -241,6 +382,14 @@ class DeepPowerRuntime:
             action = np.asarray(wd.cfg.safe_action, dtype=float)
             if self._fallback is not None and self._fallback._task is None:
                 self._fallback.start()
+            if self._ctl is not None:
+                # Heartbeat over the bus: keeps the node's own deadline
+                # watchdog from stacking a second governor on the cores.
+                self._publish_action(action)
+        elif force_safe:
+            action = np.asarray(self._ctl.safe_action, dtype=float)
+            self._publish_action(action)
+            self._prev = None
         else:
             if self._prev is not None:
                 s_prev, a_prev = self._prev
@@ -255,8 +404,16 @@ class DeepPowerRuntime:
             action = self.agent.act(s_next, explore=self.cfg.train)
             if wd is not None:
                 action = wd.screen_action(action)
-            self.controller.set_params(action[0], action[1])
+            if self._ctl is None:
+                self.controller.set_params(action[0], action[1])
+            else:
+                self._publish_action(action)
             self._prev = (s_next, action)
+
+        if self._ctl is not None and self._bus_pending is not None:
+            # Actuation known-dead (retries exhausted, never acked) is a
+            # degraded window even when telemetry still flows.
+            degraded = degraded or self._bus_pending["lost"]
 
         anomalies = 0
         fallback_now = False
@@ -284,27 +441,7 @@ class DeepPowerRuntime:
                     self._trace.emit(
                         "watchdog-rearm", t=self.engine.now, step=self.step_count
                     )
-        step_no = self.step_count
-        self.step_count += 1
-        if self._m_steps is not None:
-            self._m_steps.inc()
-        if (
-            self.cfg.checkpoint is not None
-            and self.cfg.checkpoint_every_steps > 0
-            and self.step_count % self.cfg.checkpoint_every_steps == 0
-        ):
-            self.cfg.checkpoint.save(
-                self.state_dict(), step=self.step_count, meta={"kind": "runtime"}
-            )
-            if self._m_ckpts is not None:
-                self._m_ckpts.inc()
-            if self._trace is not None:
-                self._trace.emit(
-                    "checkpoint",
-                    t=self.engine.now,
-                    step=self.step_count,
-                    ckpt_kind="runtime",
-                )
+        step_no = self._advance_step()
 
         trace = self._trace
         if self.cfg.record_steps or self.obs is not None:
@@ -327,6 +464,7 @@ class DeepPowerRuntime:
                         avg_frequency=avg_freq,
                         fallback=fallback_now,
                         anomalies=anomalies,
+                        degraded=degraded,
                     )
                 )
             if self._g_power is not None:
@@ -355,16 +493,234 @@ class DeepPowerRuntime:
                     avg_freq=avg_freq,
                     fallback=fallback_now,
                     anomalies=anomalies,
+                    degraded=degraded,
                 )
-                switches = self.server.cpu.total_switches()
-                trace.emit(
-                    "controller-window",
-                    t=snap.time,
+                self._emit_controller_window(snap.time, step_no)
+
+    # ------------------------------------------------------------ bus plumbing
+
+    def _ingest_readings(self):
+        """Drain the sensor channel; return the newest unseen reading.
+
+        Monotonic sequence numbers make duplicates and reordered
+        stragglers harmless: anything at or below the high-water mark is
+        counted and discarded, and of several new readings only the
+        newest wins (its predecessors describe windows that are already
+        history).
+        """
+        newest = None
+        for msg in self.bus.sensor.poll(self.engine.now):
+            if getattr(msg, "schema", None) != CONTROL_SCHEMA:
+                self._bus_stats["bad_schema"] += 1
+                continue
+            if msg.seq <= self._bus_reading_seq:
+                self._bus_stats["suppressed_readings"] += 1
+                continue
+            if newest is None or msg.seq > newest.seq:
+                if newest is not None:
+                    self._bus_stats["suppressed_readings"] += 1
+                newest = msg
+            else:
+                self._bus_stats["suppressed_readings"] += 1
+        if newest is not None:
+            self._bus_reading_seq = newest.seq
+        return newest
+
+    def _service_acks(self) -> None:
+        """Match delivered acks to the pending command; retry on timeout.
+
+        Retries are idempotent (same ``seq``) and bounded by
+        ``max_retries``; an exhausted, never-acked command is flagged
+        lost, which marks subsequent steps degraded until a newer command
+        supersedes it.  The ablation consumes acks but never retries.
+        """
+        now = self.engine.now
+        pending = self._bus_pending
+        for ack in self.bus.ack.poll(now):
+            if getattr(ack, "schema", None) != CONTROL_SCHEMA:
+                self._bus_stats["bad_schema"] += 1
+                continue
+            if pending is not None and ack.cmd_seq == pending["seq"]:
+                pending["acked"] = True
+        if not self._ctl.degraded_mode:
+            return
+        if pending is None or pending["acked"] or pending["lost"]:
+            return
+        if now - pending["sent"] < self._ctl.ack_timeout:
+            return
+        if pending["attempts"] < self._ctl.max_retries:
+            pending["attempts"] += 1
+            pending["sent"] = now
+            self._bus_stats["retries"] += 1
+            if self._trace is not None:
+                self._trace.emit(
+                    "cmd-retry",
+                    t=now,
+                    cmd_seq=pending["seq"],
+                    attempt=pending["attempts"],
+                )
+            self.bus.command.publish(
+                ActuatorCommand(
+                    seq=pending["seq"],
+                    t_sent=now,
+                    base_freq=pending["base_freq"],
+                    scaling_coef=pending["scaling_coef"],
+                    attempt=pending["attempts"],
+                )
+            )
+        else:
+            pending["lost"] = True
+            self._bus_stats["commands_lost"] += 1
+
+    def _publish_action(self, action) -> None:
+        self._bus_cmd_seq += 1
+        now = self.engine.now
+        base_freq = float(action[0])
+        scaling_coef = float(action[1])
+        self._bus_pending = {
+            "seq": self._bus_cmd_seq,
+            "base_freq": base_freq,
+            "scaling_coef": scaling_coef,
+            "sent": now,
+            "attempts": 0,
+            "acked": False,
+            "lost": False,
+        }
+        self._bus_last_action = np.asarray(action, dtype=float).copy()
+        self.bus.command.publish(
+            ActuatorCommand(
+                seq=self._bus_cmd_seq,
+                t_sent=now,
+                base_freq=base_freq,
+                scaling_coef=scaling_coef,
+            )
+        )
+
+    def _stale_step(self, have_reading: bool) -> None:
+        """Degraded window: no fresh telemetry arrived this interval.
+
+        Holds the last action (no learning, no fabricated transitions)
+        and flags the window; after ``deadline_misses`` consecutive stale
+        windows the controller escalates to broadcasting the safe action
+        until telemetry recovers — the controller-side half of the
+        control-deadline watchdog (the node-side half engages the
+        fallback governor when *commands* stop arriving).
+        """
+        now = self.engine.now
+        ctl = self._ctl
+        self._bus_stale_count += 1
+        self._bus_recovery = 0
+        self._bus_stats["stale_windows"] += 1
+        self._prev = None  # the outage breaks the transition chain
+        if self._trace is not None:
+            self._trace.emit(
+                "stale-window",
+                t=now,
+                step=self.step_count,
+                consecutive=self._bus_stale_count,
+                have_reading=have_reading,
+            )
+        if self._bus_stale_count >= ctl.deadline_misses:
+            if not self._bus_safe_mode:
+                self._bus_safe_mode = True
+                self._bus_stats["safe_escalations"] += 1
+            self._bus_stats["deadline_misses"] += 1
+            if self._trace is not None:
+                self._trace.emit(
+                    "deadline-miss",
+                    t=now,
+                    side="controller",
+                    misses=self._bus_stale_count,
+                    engaged=True,
+                )
+            action = np.asarray(ctl.safe_action, dtype=float)
+            self._publish_action(action)
+        else:
+            action = self._bus_last_action
+        self._record_degraded_step(action, degraded=True)
+
+    def _record_degraded_step(self, action, degraded: bool) -> None:
+        """Close a data-less window: bookkeeping + NaN-metric records.
+
+        The controller cannot see power/rps/queue for a window whose
+        reading never arrived, and fabricating them from node-side state
+        would defeat the boundary — the record says NaN and means it.
+        """
+        step_no = self._advance_step()
+        if self.cfg.record_steps or self.obs is not None:
+            nan = float("nan")
+            action = np.asarray(action, dtype=float)
+            if self.cfg.record_steps:
+                self.records.append(
+                    StepRecord(
+                        time=self.engine.now,
+                        state=None,
+                        action=action.copy(),
+                        reward=None,
+                        power_watts=nan,
+                        rps=nan,
+                        queue_len=-1,
+                        timeouts=-1,
+                        avg_frequency=nan,
+                        fallback=False,
+                        anomalies=0,
+                        degraded=degraded,
+                    )
+                )
+            if self._trace is not None:
+                self._trace.emit(
+                    "drl-step",
+                    t=self.engine.now,
                     step=step_no,
-                    dvfs_switches=switches - self._last_switches,
-                    **self.controller.window_summary(),
+                    state=None,
+                    action=action,
+                    reward=None,
+                    power_w=nan,
+                    rps=nan,
+                    queue_len=-1,
+                    timeouts=-1,
+                    avg_freq=nan,
+                    fallback=False,
+                    anomalies=0,
+                    degraded=degraded,
                 )
-                self._last_switches = switches
+                self._emit_controller_window(self.engine.now, step_no)
+
+    def _advance_step(self) -> int:
+        """Shared per-step bookkeeping: counters and checkpoint autosave."""
+        step_no = self.step_count
+        self.step_count += 1
+        if self._m_steps is not None:
+            self._m_steps.inc()
+        if (
+            self.cfg.checkpoint is not None
+            and self.cfg.checkpoint_every_steps > 0
+            and self.step_count % self.cfg.checkpoint_every_steps == 0
+        ):
+            self.cfg.checkpoint.save(
+                self.state_dict(), step=self.step_count, meta={"kind": "runtime"}
+            )
+            if self._m_ckpts is not None:
+                self._m_ckpts.inc()
+            if self._trace is not None:
+                self._trace.emit(
+                    "checkpoint",
+                    t=self.engine.now,
+                    step=self.step_count,
+                    ckpt_kind="runtime",
+                )
+        return step_no
+
+    def _emit_controller_window(self, t: float, step_no: int) -> None:
+        switches = self.server.cpu.total_switches()
+        self._trace.emit(
+            "controller-window",
+            t=t,
+            step=step_no,
+            dvfs_switches=switches - self._last_switches,
+            **self.controller.window_summary(),
+        )
+        self._last_switches = switches
 
     # --------------------------------------------------------------- fallback
 
@@ -395,15 +751,38 @@ class DeepPowerRuntime:
         Captures everything that outlives a single DRL step: the full
         learner state, the controller's (BaseFreq, ScalingCoef), the
         observer's adaptive normalisers, the reward window accumulator,
-        the watchdog machine, and the step/transition bookkeeping.  The
-        simulated environment (event heap, in-flight requests) is *not*
-        state — a resumed runtime re-attaches to a live or freshly built
-        server, exactly like a restarted production controller.
+        the watchdog machine, the step/transition bookkeeping and — in
+        bus mode — the control-loop state (sequence high-water marks,
+        pending command, degraded-mode machine, injector RNG streams,
+        node endpoint).  The simulated environment (event heap, in-flight
+        requests) is *not* state — a resumed runtime re-attaches to a
+        live or freshly built server, exactly like a restarted production
+        controller.
         """
         prev = None
         if self._prev is not None:
             s_prev, a_prev = self._prev
             prev = {"state": np.array(s_prev), "action": np.array(a_prev)}
+        control = None
+        if self._ctl is not None:
+            pending = None
+            if self._bus_pending is not None:
+                pending = dict(self._bus_pending)
+                # Stored as an age: a resumed loop re-anchors on its new
+                # engine clock.
+                pending["sent_age"] = self.engine.now - pending.pop("sent")
+            control = {
+                "reading_seq": self._bus_reading_seq,
+                "cmd_seq": self._bus_cmd_seq,
+                "pending": pending,
+                "last_action": np.array(self._bus_last_action),
+                "stale_count": self._bus_stale_count,
+                "safe_mode": self._bus_safe_mode,
+                "recovery": self._bus_recovery,
+                "stats": dict(self._bus_stats),
+                "bus": self.bus.state_dict(),
+                "endpoint": self._endpoint.state_dict(),
+            }
         return {
             "kind": "deeppower-runtime",
             "step_count": self.step_count,
@@ -414,6 +793,7 @@ class DeepPowerRuntime:
             "prev": prev,
             "last_tick_count": self._last_tick_count,
             "watchdog": None if self.watchdog is None else self.watchdog.state_dict(),
+            "control": control,
         }
 
     def load_state_dict(self, state: dict) -> None:
@@ -437,6 +817,27 @@ class DeepPowerRuntime:
                     "snapshot carries watchdog state but this runtime has no watchdog"
                 )
             self.watchdog.load_state_dict(state["watchdog"])
+        control = state.get("control")
+        if control is not None:
+            if self._ctl is None:
+                raise ValueError(
+                    "snapshot carries control-plane state but this runtime "
+                    "has no ControlPlaneConfig"
+                )
+            self._bus_reading_seq = int(control["reading_seq"])
+            self._bus_cmd_seq = int(control["cmd_seq"])
+            pending = control["pending"]
+            if pending is not None:
+                pending = dict(pending)
+                pending["sent"] = self.engine.now - pending.pop("sent_age")
+            self._bus_pending = pending
+            self._bus_last_action = np.asarray(control["last_action"], dtype=float)
+            self._bus_stale_count = int(control["stale_count"])
+            self._bus_safe_mode = bool(control["safe_mode"])
+            self._bus_recovery = int(control["recovery"])
+            self._bus_stats.update(control["stats"])
+            self.bus.load_state_dict(control["bus"])
+            self._endpoint.load_state_dict(control["endpoint"])
 
     # ------------------------------------------------------------------- views
 
@@ -448,6 +849,21 @@ class DeepPowerRuntime:
     def watchdog_stats(self) -> Optional[dict]:
         """Trip/recovery/anomaly counters (None when no watchdog configured)."""
         return None if self.watchdog is None else self.watchdog.stats()
+
+    def control_stats(self) -> Optional[dict]:
+        """Bus / degraded-mode counters (None for direct-call runtimes).
+
+        Three sections: ``loop`` (controller-side degraded machinery),
+        ``bus`` (per-channel transport counters) and ``node`` (endpoint
+        application/deadline counters).
+        """
+        if self._ctl is None:
+            return None
+        return {
+            "loop": dict(self._bus_stats),
+            "bus": self.bus.stats(),
+            "node": dict(self._endpoint.stats),
+        }
 
     def reward_history(self) -> np.ndarray:
         """Total reward per recorded step."""

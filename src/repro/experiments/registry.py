@@ -32,6 +32,7 @@ from .fault_tolerance import render_fault_tolerance, run_fault_tolerance
 from .fleet import render_fleet, run_fleet
 from .overhead import render_overhead, run_overhead
 from .robustness import render_robustness, run_mmpp_robustness
+from .soak import render_soak, run_soak
 from .table2_inference import render_table2, run_table2
 from .table3_load_latency import render_table3, run_table3
 from ..analysis.reporting import format_table
@@ -138,6 +139,7 @@ REGISTRY: Dict[str, Experiment] = {
         Experiment("ablation-shorttime", "controller tick granularity sweep", run_short_time_sweep, _render_dicts),
         Experiment("robustness-mmpp", "policies under flash-crowd (MMPP) arrivals", run_mmpp_robustness, render_robustness),
         Experiment("fault-tolerance", "policies under injected sensor/actuator faults", run_fault_tolerance, render_fault_tolerance),
+        Experiment("control-soak", "DeepPower over a lossy control bus: degraded mode vs no-defence ablation", run_soak, render_soak),
         Experiment("fleet", "cluster fleet: routing x power policy grid under a global power cap", run_fleet, render_fleet),
         Experiment("chaos", "fleet under seeded node failures: fault intensity x routing, failover vs none", run_chaos, render_chaos),
     ]

@@ -11,8 +11,20 @@ Three layers:
 * :mod:`repro.faults.watchdog` — :class:`Watchdog`, the runtime's
   anomaly screen and trip/re-arm state machine, degrading to an SLA-safe
   governor while telemetry is broken.
+
+Two sibling plan layers compose over the same contract: fleet-level
+chaos (:mod:`repro.faults.fleet`) and control-bus loss/delay/partition
+(:mod:`repro.faults.bus`, interpreted by :mod:`repro.control.bus`).
 """
 
+from .bus import (
+    BUS_DIRECTIONS,
+    BUS_FAULT_KINDS,
+    BusEvent,
+    BusFaultPlan,
+    LinkFaults,
+    standard_bus_plan,
+)
 from .fleet import (
     FLEET_FAULT_KINDS,
     FleetEvent,
@@ -32,6 +44,12 @@ __all__ = [
     "FleetEvent",
     "FleetFaultPlan",
     "standard_chaos_plan",
+    "BUS_DIRECTIONS",
+    "BUS_FAULT_KINDS",
+    "BusEvent",
+    "BusFaultPlan",
+    "LinkFaults",
+    "standard_bus_plan",
     "SensorFaults",
     "ActuatorFaults",
     "AgentFaults",

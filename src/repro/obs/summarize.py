@@ -54,6 +54,11 @@ class TraceSummary:
     episodes: List[Dict[str, Any]] = field(default_factory=list)
     #: ``run-warning`` events (degenerate runs surface here).
     warnings: List[Dict[str, Any]] = field(default_factory=list)
+    #: Control-plane (bus) aggregation — empty for direct-call runs.
+    #: Keys: ``drops`` (per channel), ``drop_reasons`` (fault / partition /
+    #: shed), ``retries``, ``stale_windows``, ``max_consecutive_stale``,
+    #: ``deadline_misses`` (per side), ``degraded_intervals``.
+    control: Dict[str, Any] = field(default_factory=dict)
 
 
 def summarize_trace(path: str, strict: bool = True) -> TraceSummary:
@@ -61,12 +66,21 @@ def summarize_trace(path: str, strict: bool = True) -> TraceSummary:
 
     ``drl-step`` events provide reward/state/action/queue/power;
     ``controller-window`` events (matched by episode + step) contribute
-    tick counts, window frequency stats and DVFS switch counts.
+    tick counts, window frequency stats and DVFS switch counts.  Bus-mode
+    runs additionally feed the ``control`` aggregation from ``bus-drop``,
+    ``stale-window``, ``cmd-retry`` and ``deadline-miss`` events (degraded
+    ``drl-step`` events carry ``state: null`` and NaN telemetry; they
+    appear in the interval table like any other step).
     """
     summary = TraceSummary(path=path)
     episode: Optional[int] = None
     # (episode, step) -> row, for joining controller windows onto steps.
     by_step: Dict[tuple, Dict[str, Any]] = {}
+
+    def control_bucket(key: str, sub: Any) -> None:
+        bucket = summary.control.setdefault(key, {})
+        bucket[sub] = bucket.get(sub, 0) + 1
+
     for event in read_trace(path, strict=strict):
         kind = event.get("kind", "?")
         summary.counts[kind] = summary.counts.get(kind, 0) + 1
@@ -74,6 +88,21 @@ def summarize_trace(path: str, strict: bool = True) -> TraceSummary:
             summary.meta = event.get("meta", {})
         elif kind == "episode-start":
             episode = event.get("episode")
+        elif kind == "bus-drop":
+            control_bucket("drops", event.get("channel", "?"))
+            control_bucket("drop_reasons", event.get("reason", "?"))
+        elif kind == "cmd-retry":
+            summary.control["retries"] = summary.control.get("retries", 0) + 1
+        elif kind == "stale-window":
+            summary.control["stale_windows"] = (
+                summary.control.get("stale_windows", 0) + 1
+            )
+            summary.control["max_consecutive_stale"] = max(
+                summary.control.get("max_consecutive_stale", 0),
+                event.get("consecutive", 0) or 0,
+            )
+        elif kind == "deadline-miss":
+            control_bucket("deadline_misses", event.get("side", "?"))
         elif kind == "drl-step":
             reward = event.get("reward") or {}
             action = event.get("action") or [float("nan")] * 2
@@ -96,6 +125,10 @@ def summarize_trace(path: str, strict: bool = True) -> TraceSummary:
             }
             summary.intervals.append(row)
             by_step[(episode, event.get("step"))] = row
+            if event.get("degraded"):
+                summary.control["degraded_intervals"] = (
+                    summary.control.get("degraded_intervals", 0) + 1
+                )
         elif kind == "controller-window":
             row = by_step.get((episode, event.get("step")))
             if row is not None:
@@ -128,6 +161,19 @@ def render_summary(
     lines.append(
         "events: " + ", ".join(f"{k}={v}" for k, v in sorted(summary.counts.items()))
     )
+    if summary.control:
+        parts = []
+        for key in (
+            "drops", "drop_reasons", "retries", "stale_windows",
+            "max_consecutive_stale", "deadline_misses", "degraded_intervals",
+        ):
+            value = summary.control.get(key)
+            if value is None:
+                continue
+            if isinstance(value, dict):
+                value = "/".join(f"{k}={v}" for k, v in sorted(value.items()))
+            parts.append(f"{key}={value}")
+        lines.append("control plane: " + ", ".join(parts))
     for w in summary.warnings:
         lines.append(f"WARNING: {w.get('warning', '?')}: {w.get('message', '')}")
     rows = summary.intervals

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from typing import Any, Dict, Iterator, List, Optional
 
 import numpy as np
@@ -137,6 +138,10 @@ def read_trace(path: str, strict: bool = True) -> Iterator[Dict[str, Any]]:
     (partially written) final line from a crashed writer yields every
     complete event before it instead of poisoning the read.
 
+    An empty (zero-byte) file — a writer that crashed before its first
+    flush — raises in strict mode like any other missing-header damage;
+    lenient mode warns and yields nothing.
+
     Lines are read as bytes and decoded individually: a line torn mid-way
     through a multi-byte UTF-8 character is a truncation like any other,
     not a stream-level decode crash.
@@ -174,3 +179,11 @@ def read_trace(path: str, strict: bool = True) -> Iterator[Dict[str, Any]]:
                             f"(this reader understands {TRACE_SCHEMA})"
                         )
             yield event
+        if first:
+            # Zero events: a writer that died before its first flush, or a
+            # file that was never a trace.  Strict treats the missing
+            # header as damage; lenient warns so scripted summaries of a
+            # crashed run directory don't die on the one empty file.
+            if strict:
+                raise TraceError(f"{path}: empty trace (no events)")
+            warnings.warn(f"{path}: empty trace (no events)", stacklevel=2)

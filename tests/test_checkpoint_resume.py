@@ -14,6 +14,7 @@ import numpy as np
 import pytest
 
 from repro.checkpoint import CheckpointManager
+from repro.control import ControlPlaneConfig
 from repro.core import (
     DeepPowerAgent,
     DeepPowerConfig,
@@ -23,6 +24,7 @@ from repro.core import (
 )
 from repro.core.agent import build_actor
 from repro.experiments.fig7_main import Fig7AppResult, run_fig7
+from repro.faults.bus import BusEvent, BusFaultPlan, LinkFaults
 from repro.experiments.registry import Experiment
 from repro.experiments.runner import build_context
 from repro.nn.layers import Parameter
@@ -329,6 +331,30 @@ def _train(tiny_app, agent, episodes, **kw):
     )
 
 
+def _train_bus(tiny_app, agent, episodes, **kw):
+    """Training over a lossy in-process bus: sensor drops plus a mid-episode
+    sensor partition, so every episode has genuine degraded windows."""
+    plan = BusFaultPlan(
+        sensor=LinkFaults(drop_prob=0.3),
+        events=(BusEvent(time=1.0, duration=1.0, direction="sensor"),),
+        seed=3,
+    )
+    trace = constant_trace(tiny_app.rps_for_load(0.4, 2), 3.0)
+    return train_deeppower(
+        tiny_app,
+        trace,
+        episodes=episodes,
+        num_cores=2,
+        seed=5,
+        agent=agent,
+        config=DeepPowerConfig(
+            long_time=0.5, control=ControlPlaneConfig(fault_plan=plan)
+        ),
+        keep_histories=True,
+        **kw,
+    )
+
+
 class TestTrainingResume:
     @pytest.mark.parametrize("make_agent", [_make_ddpg, _make_td3], ids=["ddpg", "td3"])
     def test_resume_is_bitwise_identical_to_uninterrupted(
@@ -355,6 +381,26 @@ class TestTrainingResume:
         assert [s.avg_power_watts for s in resumed.episodes] == [
             s.avg_power_watts for s in baseline.episodes
         ]
+
+    def test_resume_while_degraded_is_bitwise_identical(self, tiny_app, tmp_path):
+        """Kill/resume with the controller riding a lossy bus: the resumed
+        run must reproduce the outage bookkeeping (degraded flags) as well
+        as the learner trajectory, bit for bit."""
+        baseline = _train_bus(tiny_app, _make_ddpg(), 3)
+        # The scenario must actually degrade the controller, or this test
+        # is just the fault-free case again.
+        assert any(h["degraded"].any() for h in baseline.histories)
+
+        ckdir = str(tmp_path / "ck")
+        _train_bus(tiny_app, _make_ddpg(), 2, checkpoint_dir=ckdir)
+        resumed = _train_bus(
+            tiny_app, _make_ddpg(), 3, checkpoint_dir=ckdir, resume=True
+        )
+
+        assert resumed.resumed_from == 2
+        for hb, hr in zip(baseline.histories, resumed.histories):
+            for key in _HISTORY_KEYS + ("degraded",):
+                np.testing.assert_array_equal(hb[key], hr[key], err_msg=key)
 
     def test_resume_after_corrupt_newest_uses_previous_snapshot(
         self, tiny_app, tmp_path

@@ -143,6 +143,23 @@ class TestReadTrace:
         events = list(read_trace(path))
         assert [e["kind"] for e in events] == ["trace-header", "x"]
 
+    def test_empty_file_raises_strict(self, tmp_path):
+        p = tmp_path / "empty.jsonl"
+        p.write_text("")
+        with pytest.raises(TraceError, match="empty trace"):
+            list(read_trace(str(p)))
+        # Whitespace-only is just as header-less.
+        p.write_text("\n\n")
+        with pytest.raises(TraceError, match="empty trace"):
+            list(read_trace(str(p)))
+
+    def test_empty_file_warns_lenient(self, tmp_path):
+        p = tmp_path / "empty.jsonl"
+        p.write_text("")
+        with pytest.warns(UserWarning, match="empty trace"):
+            events = list(read_trace(str(p), strict=False))
+        assert events == []
+
 
 class TestSummarize:
     def _write(self, path, events):
@@ -197,6 +214,50 @@ class TestSummarize:
         self._write(path, events)
         text = render_summary(summarize_trace(path), limit=3)
         assert "(last 3 of 10 intervals)" in text
+
+    def test_control_plane_events_aggregate(self, tmp_path):
+        path = str(tmp_path / "bus.jsonl")
+        self._write(
+            path,
+            [
+                ("bus-drop", dict(t=0.5, channel="sensor", reason="fault", seq=1)),
+                ("bus-drop", dict(t=1.0, channel="sensor", reason="partition", seq=2)),
+                ("bus-drop", dict(t=1.5, channel="command", reason="shed", seq=1)),
+                ("stale-window", dict(t=1.0, step=0, consecutive=1, have_reading=False)),
+                ("stale-window", dict(t=2.0, step=1, consecutive=2, have_reading=False)),
+                ("cmd-retry", dict(t=2.0, cmd_seq=3, attempt=1)),
+                ("deadline-miss", dict(t=3.0, side="controller", misses=3, engaged=True)),
+                ("deadline-miss", dict(t=4.0, side="node", age=2.0, engaged=True)),
+                # A degraded (blind) interval: null telemetry must not break
+                # the table join, and the flag must be counted.
+                (
+                    "drl-step",
+                    dict(t=2.0, step=1, state=None, action=[1.0, 1.0], reward=None,
+                         power_w=float("nan"), queue_len=-1, degraded=True),
+                ),
+            ],
+        )
+        s = summarize_trace(path)
+        assert s.control["drops"] == {"sensor": 2, "command": 1}
+        assert s.control["drop_reasons"] == {"fault": 1, "partition": 1, "shed": 1}
+        assert s.control["retries"] == 1
+        assert s.control["stale_windows"] == 2
+        assert s.control["max_consecutive_stale"] == 2
+        assert s.control["deadline_misses"] == {"controller": 1, "node": 1}
+        assert s.control["degraded_intervals"] == 1
+        (row,) = s.intervals
+        assert row["reward"] != row["reward"]  # NaN: degraded steps join fine
+        text = render_summary(s)
+        assert "control plane:" in text
+        assert "stale_windows=2" in text
+        assert "deadline_misses=controller=1/node=1" in text
+
+    def test_direct_runs_have_no_control_section(self, tmp_path):
+        path = str(tmp_path / "plain.jsonl")
+        self._write(path, [("drl-step", dict(t=1.0, step=0, reward={"total": 0.0}))])
+        s = summarize_trace(path)
+        assert s.control == {}
+        assert "control plane:" not in render_summary(s)
 
 
 class TestObservability:

@@ -14,8 +14,11 @@ b. **run_policy throughput** — simulated seconds and completed requests per
    wall second for one baseline run.
 c. **Grid wall-clock** — the same spec grid executed serially and with
    ``--jobs N`` through :func:`repro.parallel.run_grid` (cache disabled),
-   plus the measured speedup.  Parallel speedup is bounded by the machine:
-   the ``cpus`` field records how many cores were available.
+   plus the measured speedup and the persistent pool's reuse stats.
+   Parallel speedup is bounded by the machine: each section records the
+   CPU count it ran with, ``--jobs`` auto-sizes to the machine by
+   default, and the speedup gate is skipped (with a logged reason) when
+   the requested jobs oversubscribe the available cores.
 
 Regression gate (used by the CI perf-smoke job)::
 
@@ -27,14 +30,22 @@ vectorised controller is slower than the legacy loop.  Machines differ, so
 the committed baseline is deliberately conservative; the vs-legacy ratio is
 measured in-process and is machine-independent.
 
-Fleet scaling (ISSUE 5)::
+Fleet scaling (ISSUE 5 + ISSUE 8)::
 
     python benchmarks/bench_perf.py --fleet
 
 additionally times :class:`~repro.cluster.sim.ClusterSim` at 2/4/8 nodes
 (per-node load held constant) and records simulated node-seconds per wall
-second plus a scaling-efficiency ratio under the ``fleet`` key.
-Informational only — absolute throughput is machine-dependent.
+second plus a scaling-efficiency ratio under the ``fleet`` key
+(informational — absolute throughput is machine-dependent), and runs the
+**batched-vs-scalar stepping A/B** under ``fleet_scaling``: the
+tick-driven ``controller`` policy at 4/64/256 nodes in both stepping
+modes plus 1024 nodes batched-only, at light load so the measurement
+isolates stepping overhead rather than the shared per-request pipeline.
+``--fleet --check`` gates the in-process 256-node speedup at
+``FLEET_SPEEDUP_FLOOR`` (5x) and, when the committed baseline carries a
+``fleet_scaling`` section, the absolute batched nodes/sec at 256 nodes
+at the usual 30 % tolerance.
 
 Observability overhead gate (ISSUE 4)::
 
@@ -82,10 +93,22 @@ DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_perf.json")
 DEFAULT_BASELINE = os.path.join(os.path.dirname(__file__), "bench_perf_baseline.json")
 
 #: BENCH_perf.json schema version (documented in EXPERIMENTS.md).
-BENCH_SCHEMA = 1
+#: Schema 2 (ISSUE 8): adds the ``fleet_scaling`` batched-vs-scalar
+#: section, per-section ``cpus`` fields, and grid ``pool_stats``.
+BENCH_SCHEMA = 2
 
 #: --check fails when ticks/sec falls below (1 - this) * baseline.
 REGRESSION_TOLERANCE = 0.30
+
+#: --fleet --check fails when batched stepping is less than this many
+#: times faster than scalar stepping at 256 nodes (in-process A/B, so
+#: machine-independent like speedup_vs_legacy).
+FLEET_SPEEDUP_FLOOR = 5.0
+
+#: --check gates grid parallel speedup at this floor — but only when the
+#: machine actually has more cores than grid jobs; an oversubscribed run
+#: (jobs > cpus) skips the gate with a logged reason.
+GRID_SPEEDUP_FLOOR = 1.5
 
 #: --obs-check fails when the metrics-only observability A/B shows more
 #: than this fractional slowdown over the no-observability run.
@@ -383,10 +406,77 @@ def bench_fleet(
         })
     base = rows[0]["node_seconds_per_wall_second"]
     return {
+        "cpus": os.cpu_count(),
         "rows": rows,
         # throughput at the largest fleet relative to the smallest; 1.0 =
         # perfectly linear scaling in node count.
         "scaling_efficiency": rows[-1]["node_seconds_per_wall_second"] / base,
+    }
+
+
+def bench_fleet_scaling(
+    ab_counts=(4, 64, 256), batched_only=(1024,), cores_per_node: int = 2,
+    duration: float = 4.0, load: float = 0.05, seed: int = 3,
+) -> dict:
+    """Batched vs scalar fleet stepping A/B (ISSUE 8 tentpole).
+
+    Runs the tick-driven ``controller`` policy (a fixed-parameter
+    :class:`~repro.core.thread_controller.ThreadController` per node, the
+    shape whose per-tick python dispatch dominated large fleets) in both
+    stepping modes at each A/B node count, then batched-only at fleet
+    sizes where scalar would take minutes.  Light per-worker load so the
+    measurement isolates stepping overhead rather than the shared
+    per-request pipeline, which both modes pay identically.  The metrics
+    of every A/B pair are asserted identical — the speedup is only
+    meaningful because the two modes simulate the same world.
+    """
+    from repro.cluster import ClusterConfig, ClusterSim
+
+    app = get_app("xapian")
+    rows = []
+    for n in tuple(ab_counts) + tuple(batched_only):
+        total_cores = n * cores_per_node
+        trace = constant_trace(app.rps_for_load(load, total_cores), duration)
+        row = {"nodes": n, "sim_seconds": duration}
+        metrics_json = {}
+        modes = ("scalar", "batched") if n in ab_counts else ("batched",)
+        for stepping in modes:
+            config = ClusterConfig(
+                app="xapian", num_nodes=n, cores_per_node=cores_per_node,
+                policy="controller", routing="jsq", seed=seed,
+                stepping=stepping,
+            )
+            t0 = time.perf_counter()
+            metrics = ClusterSim(config, trace).run()
+            wall = time.perf_counter() - t0
+            metrics_json[stepping] = json.dumps(
+                metrics.as_dict(), sort_keys=True
+            )
+            row[f"{stepping}_wall_seconds"] = wall
+            row[f"{stepping}_nodes_per_sec"] = n * duration / wall
+        if len(modes) == 2:
+            if metrics_json["scalar"] != metrics_json["batched"]:
+                raise AssertionError(
+                    f"batched stepping diverged from scalar at {n} nodes"
+                )
+            row["speedup"] = (
+                row["scalar_wall_seconds"] / row["batched_wall_seconds"]
+            )
+        rows.append(row)
+    ab = max((r for r in rows if "speedup" in r), key=lambda r: r["nodes"])
+    return {
+        "cpus": os.cpu_count(),
+        "policy": "controller",
+        "routing": "jsq",
+        "cores_per_node": cores_per_node,
+        "load": load,
+        "rows": rows,
+        # headline numbers: the in-process A/B at the largest paired fleet
+        # (machine-independent) and its absolute batched throughput (for
+        # the baseline floor check).
+        "ab_nodes": ab["nodes"],
+        "ab_speedup": ab["speedup"],
+        "ab_batched_nodes_per_sec": ab["batched_nodes_per_sec"],
     }
 
 
@@ -410,9 +500,22 @@ def _grid_specs(apps, num_cores: int, duration: float, seed: int):
     return specs
 
 
-def bench_grid(apps, jobs: int, num_cores: int = 4, duration: float = 20.0,
+def bench_grid(apps, jobs, num_cores: int = 4, duration: float = 20.0,
                seed: int = 3) -> dict:
-    """Wall-clock the same grid serially and fanned over ``jobs`` workers."""
+    """Wall-clock the same grid serially and fanned over ``jobs`` workers.
+
+    ``jobs=None`` auto-sizes to ``min(4, cpu_count)`` so the benchmark
+    never oversubscribes by default.  An explicit ``jobs`` larger than the
+    machine still runs (the wall-clock numbers are real), but the section
+    marks itself oversubscribed and records why the speedup gate does not
+    apply: N workers time-slicing fewer cores measure scheduler fairness,
+    not parallel speedup.
+    """
+    cpus = os.cpu_count() or 1
+    requested = jobs
+    if jobs is None:
+        jobs = min(4, cpus)
+    jobs = max(1, int(jobs))
     specs = _grid_specs(apps, num_cores, duration, seed)
 
     t0 = time.perf_counter()
@@ -426,12 +529,28 @@ def bench_grid(apps, jobs: int, num_cores: int = 4, duration: float = 20.0,
     for a, b in zip(serial, parallel):
         if a.unwrap() != b.unwrap():  # pragma: no cover - determinism guard
             raise AssertionError("parallel grid diverged from serial grid")
+    oversubscribed = jobs > cpus
+    if oversubscribed:
+        gate = (
+            f"skipped: jobs={jobs} oversubscribes {cpus} cpu(s); "
+            f"wall-clock recorded, speedup not gated"
+        )
+    elif jobs == 1:
+        gate = "skipped: jobs=1 is the serial path; nothing to compare"
+    else:
+        gate = "ok"
+    stats = next((o.pool_stats for o in parallel if o.pool_stats), None)
     return {
         "cells": len(specs),
+        "jobs_requested": requested,
         "jobs": jobs,
+        "cpus": cpus,
+        "oversubscribed": oversubscribed,
+        "speedup_gate": gate,
         "serial_seconds": serial_s,
         "parallel_seconds": parallel_s,
         "speedup": serial_s / parallel_s,
+        "pool_stats": stats,
     }
 
 
@@ -448,13 +567,22 @@ def run_benchmarks(args) -> dict:
     print("[bench_perf] run_policy throughput ...")
     rp = bench_run_policy(duration=args.duration)
     print(f"  {rp['sim_seconds_per_wall_second']:.1f} sim-s/s")
-    print(f"[bench_perf] grid of {3 * len(apps)} cells, jobs={args.jobs} ...")
+    print(f"[bench_perf] grid of {3 * len(apps)} cells, jobs={args.jobs or 'auto'} ...")
     grid = bench_grid(apps, args.jobs, duration=args.duration)
     print(
         f"  serial {grid['serial_seconds']:.2f}s, "
-        f"jobs={args.jobs} {grid['parallel_seconds']:.2f}s "
-        f"({grid['speedup']:.2f}x on {os.cpu_count()} cpu(s))"
+        f"jobs={grid['jobs']} {grid['parallel_seconds']:.2f}s "
+        f"({grid['speedup']:.2f}x on {grid['cpus']} cpu(s))"
     )
+    if grid["speedup_gate"] != "ok":
+        print(f"  speedup gate {grid['speedup_gate']}")
+    if grid["pool_stats"]:
+        ps = grid["pool_stats"]
+        print(
+            f"  pool: {ps['forks']} fork(s), {ps['map_calls']} map(s), "
+            f"{ps['tasks_per_worker']:.1f} tasks/worker, "
+            f"chunksize {ps['chunksize']}"
+        )
     result = {
         "schema": BENCH_SCHEMA,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
@@ -480,6 +608,21 @@ def run_benchmarks(args) -> dict:
             )
         print(f"  scaling efficiency {fleet['scaling_efficiency']:.2f}")
         result["fleet"] = fleet
+        print("[bench_perf] batched vs scalar stepping A/B ...")
+        scaling = bench_fleet_scaling()
+        for row in scaling["rows"]:
+            parts = [f"  {row['nodes']} nodes:"]
+            if "scalar_nodes_per_sec" in row:
+                parts.append(f"scalar {row['scalar_nodes_per_sec']:.0f} node-s/s,")
+            parts.append(f"batched {row['batched_nodes_per_sec']:.0f} node-s/s")
+            if "speedup" in row:
+                parts.append(f"({row['speedup']:.2f}x)")
+            print(" ".join(parts))
+        print(
+            f"  speedup at {scaling['ab_nodes']} nodes: "
+            f"{scaling['ab_speedup']:.2f}x"
+        )
+        result["fleet_scaling"] = scaling
     if args.bus:
         print("[bench_perf] control-bus overhead A/B (median of 5 paired rounds) ...")
         bus = bench_bus_overhead(duration=args.duration)
@@ -566,7 +709,49 @@ def check_regression(result: dict, baseline_path: str) -> int:
                 f"{base_tps:,.0f} (floor {floor:,.0f}): OK"
             )
     else:
+        baseline = None
         print(f"[bench_perf] no baseline at {baseline_path}; skipping floor check")
+    grid = result["grid"]
+    if grid["speedup_gate"] == "ok":
+        if grid["speedup"] < GRID_SPEEDUP_FLOOR:
+            failures.append(
+                f"grid speedup {grid['speedup']:.2f}x below "
+                f"{GRID_SPEEDUP_FLOOR}x floor at jobs={grid['jobs']} "
+                f"on {grid['cpus']} cpu(s)"
+            )
+        else:
+            print(f"[bench_perf] grid speedup {grid['speedup']:.2f}x: OK")
+    else:
+        print(f"[bench_perf] grid speedup gate {grid['speedup_gate']}")
+    scaling = result.get("fleet_scaling")
+    if scaling is not None:
+        if scaling["ab_speedup"] < FLEET_SPEEDUP_FLOOR:
+            failures.append(
+                f"batched stepping only {scaling['ab_speedup']:.2f}x over "
+                f"scalar at {scaling['ab_nodes']} nodes "
+                f"(floor {FLEET_SPEEDUP_FLOOR}x)"
+            )
+        else:
+            print(
+                f"[bench_perf] batched stepping "
+                f"{scaling['ab_speedup']:.2f}x at {scaling['ab_nodes']} "
+                f"nodes: OK"
+            )
+        base_scaling = (baseline or {}).get("fleet_scaling")
+        if base_scaling is not None:
+            base_nps = base_scaling["ab_batched_nodes_per_sec"]
+            nps = scaling["ab_batched_nodes_per_sec"]
+            floor = (1.0 - REGRESSION_TOLERANCE) * base_nps
+            if nps < floor:
+                failures.append(
+                    f"batched nodes/sec regressed: {nps:,.0f} < "
+                    f"{floor:,.0f} (70% of baseline {base_nps:,.0f})"
+                )
+            else:
+                print(
+                    f"[bench_perf] batched nodes/sec {nps:,.0f} vs baseline "
+                    f"{base_nps:,.0f} (floor {floor:,.0f}): OK"
+                )
     if failures:
         for msg in failures:
             print(f"[bench_perf] REGRESSION: {msg}", file=sys.stderr)
@@ -577,8 +762,10 @@ def check_regression(result: dict, baseline_path: str) -> int:
 
 def main(argv=None) -> int:
     p = argparse.ArgumentParser(description=__doc__)
-    p.add_argument("--jobs", type=int, default=4,
-                   help="worker processes for the grid comparison")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes for the grid comparison "
+                        "(default: min(4, cpu count) so the benchmark never "
+                        "oversubscribes by default)")
     p.add_argument("--grid-apps", default="xapian,moses",
                    help="comma-separated apps for the grid benchmark")
     p.add_argument("--duration", type=float, default=20.0,
@@ -589,7 +776,8 @@ def main(argv=None) -> int:
                    help="exit 1 on perf regression vs the committed baseline")
     p.add_argument("--fleet", action="store_true",
                    help="also measure cluster-sim nodes-per-second scaling "
-                        "(2/4/8 nodes, recorded in the JSON report)")
+                        "(2/4/8 nodes) and the batched-vs-scalar stepping "
+                        "A/B up to 1024 nodes (recorded in the JSON report)")
     p.add_argument("--bus", action="store_true",
                    help="also run the control-bus A/B; exit 1 when the "
                         "fault-free bus costs more than "

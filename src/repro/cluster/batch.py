@@ -1,0 +1,356 @@
+"""Fleet-wide SoA stepping: one numpy-batched tick across all nodes.
+
+A :class:`FleetBatch` re-lays the per-node hot state of a whole fleet as
+structure-of-arrays matrices — per-node frequency rows, begin-time rows,
+an int backlog vector, lifecycle masks and a stacked energy buffer — and
+then coalesces the two per-tick costs that dominate large fleets:
+
+* **Dispatch**: every routing decision used to walk ``N`` python objects
+  (``backlog()``/``worker_capacity_ghz()`` per candidate).  The batch
+  keeps those quantities as arrays maintained incrementally by hooks on
+  :class:`~repro.cluster.node.ClusterNode` /
+  :class:`~repro.server.server.Server`, so a decision is a handful of
+  vector ops regardless of fleet size.
+* **Controller ticks**: ``N`` per-node 1 ms
+  :meth:`~repro.core.thread_controller.ThreadController.tick` events per
+  tick time become *one* engine event computing Algorithm 1 for all
+  ``N x W`` worker cores in stacked buffers, then writing only the DVFS
+  levels that actually changed.
+
+The contract is **bitwise identity** with per-node stepping: same metrics,
+same trace bytes, under chaos / power-cap / bus configs alike (the parity
+tests byte-compare traces).  The techniques that make that hold:
+
+* *Row views, not copies.*  ``cpu._freqs`` and ``server._begin_times`` are
+  re-pointed at rows of the fleet matrices, so all existing scalar code —
+  frequency listeners, dispatch/completion bookkeeping, ``evacuate()`` —
+  keeps maintaining the stacked state in place.  Nothing is mirrored, so
+  nothing can drift.
+* *Identical IEEE op order.*  The stacked score/frequency math performs
+  the same operations per element as the scalar tick
+  (``(now - b) / sla * coef + base``, then ``fmin + fspan * score``), and
+  quantisation reuses :meth:`~repro.cpu.dvfs.FrequencyTable.quantize_into`
+  which is element-identical to scalar ``quantize`` (PR 3's tests).
+  Candidate capacities are per-row sums over the same ``W`` contiguous
+  values the scalar ``worker_capacity_ghz`` sums.
+* *Identical RNG draw schedules.*  Degraded de-weighting draws
+  ``rng.random(k)`` for the ``k`` degraded candidates in candidate order —
+  bit-identical to ``k`` sequential scalar draws.
+* *Override nodes take the scalar lane.*  Power-cap ceilings and fault
+  injectors install instance-level ``core.set_frequency`` overrides that
+  must see one raw call per tick; both are installed before adoption
+  (coordinator start / harness arm), so the batch flags those nodes once
+  and routes their rows through the unmodified per-node
+  ``Cpu.set_frequencies`` path.
+* *Down nodes keep ticking.*  The lifecycle never stops a crashed node's
+  controller (its parked cores just keep being re-asserted), so the
+  batched tick deliberately includes down nodes too; the lifecycle masks
+  gate *dispatch* only, exactly as the scalar candidate filter does.
+
+Controller adoption is refused (returning ``False``, leaving per-node
+tasks running) whenever per-node semantics could diverge mid-run: a
+profiled (``bind_spans``) or trace-recording controller, heterogeneous
+timing/tables, or a DeepPower fleet under an active fault plan, whose
+watchdog may stop/start individual controllers.  Dispatch batching is
+unconditional — it is a pure re-expression of the candidate scan.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..sim.engine import PeriodicTask
+from ..sim.events import PRIORITY_CONTROL
+from .node import DEGRADED, DOWN, ClusterNode
+
+__all__ = ["FleetBatch", "SCALAR_BATCH_CUTOFF"]
+
+#: Below this node count fleets default to scalar stepping: the batch's
+#: fixed per-tick numpy overhead beats its throughput win for small
+#: fleets, mirroring the per-socket cutoff in :mod:`repro.cpu.topology`.
+#: Both paths are bit-for-bit identical (the parity tests assert it).
+SCALAR_BATCH_CUTOFF = 16
+
+
+class FleetBatch:
+    """Stacked hot state + coalesced stepping for one fleet.
+
+    Build *after* the nodes exist but before any request flows; controller
+    adoption happens later, once drivers / coordinator / lifecycle have
+    started (their ``core.set_frequency`` overrides must be in place so
+    the per-node override flags are final).
+    """
+
+    def __init__(self, nodes: Sequence[ClusterNode]) -> None:
+        self.nodes: List[ClusterNode] = list(nodes)
+        if not self.nodes:
+            raise ValueError("fleet batch needs at least one node")
+        n = len(self.nodes)
+        c = self.nodes[0].cpu.num_cores
+        w = self.nodes[0].server.num_workers
+        for node in self.nodes:
+            if node.cpu.num_cores != c or node.server.num_workers != w:
+                raise ValueError("fleet batch requires homogeneous nodes")
+        self.num_nodes = n
+        self.num_cores = c
+        self.num_workers = w
+        self.all_indices = np.arange(n)
+
+        # ---- SoA state ------------------------------------------------------
+        # Frequency matrix [N, C]: each cpu's listener-synced mirror becomes
+        # a row view, so every DVFS write anywhere keeps it current.
+        self.freqs = np.empty((n, c))
+        for i, node in enumerate(self.nodes):
+            self.freqs[i, :] = node.cpu._freqs
+            node.cpu._freqs = self.freqs[i]
+        self._fw = self.freqs[:, :w]  # worker-core columns
+        # Begin-times matrix [N, W]: the servers' incrementally-maintained
+        # buffers become row views the same way.
+        self.begins = np.empty((n, w))
+        for i, node in enumerate(self.nodes):
+            self.begins[i, :] = node.server._begin_times
+            node.server._begin_times = self.begins[i]
+        # Backlog (queued + in flight) per node, maintained by hooks.
+        self.backlog = np.zeros(n, dtype=np.int64)
+        for i, node in enumerate(self.nodes):
+            self.backlog[i] = node.backlog()
+            node.on_routed = self._make_backlog_hook(i, 1)
+            node.server.on_done = self._make_backlog_hook(i, -1)
+            node.server.on_reset = self._make_backlog_reset(i)
+        # Lifecycle masks, maintained by the node-state listener.
+        self.down = np.zeros(n, dtype=bool)
+        self.degraded = np.zeros(n, dtype=bool)
+        for node in self.nodes:
+            self.down[node.node_id] = node.state == DOWN
+            self.degraded[node.node_id] = node.state == DEGRADED
+            node._state_listener = self._on_state_change
+        self._version = 0
+        self._cands_version = -1
+        self._cands: Tuple[np.ndarray, np.ndarray, int] = (
+            self.all_indices, np.zeros(n, dtype=bool), 0
+        )
+
+        # ---- controller adoption state (see adopt_controllers) -------------
+        self._controllers: List[Any] = []
+        self._tick_task: Optional[PeriodicTask] = None
+        self._tick_total = 0
+        self._live_tick_counts = False
+        self._ov_rows: List[int] = []
+        self._win_rows: List[Tuple[int, Any]] = []
+        self._base = np.empty((n, 1))
+        self._coef = np.empty((n, 1))
+
+    # ------------------------------------------------------------------ hooks
+
+    def _make_backlog_hook(self, i: int, delta: int) -> Callable[[], None]:
+        backlog = self.backlog
+
+        def bump() -> None:
+            backlog[i] += delta
+
+        return bump
+
+    def _make_backlog_reset(self, i: int) -> Callable[[], None]:
+        backlog = self.backlog
+
+        def reset() -> None:
+            backlog[i] = 0
+
+        return reset
+
+    def _on_state_change(self, node: ClusterNode) -> None:
+        i = node.node_id
+        state = node.state
+        self.down[i] = state == DOWN
+        self.degraded[i] = state == DEGRADED
+        self._version += 1
+
+    # --------------------------------------------------------------- dispatch
+
+    def live_candidates(self) -> Tuple[np.ndarray, np.ndarray, int]:
+        """``(live_idx, degraded_mask_over_live, num_degraded)``, cached
+        until the next lifecycle/detector state change."""
+        if self._cands_version != self._version:
+            live = np.nonzero(~self.down)[0]
+            deg = self.degraded[live]
+            self._cands = (live, deg, int(deg.sum()))
+            self._cands_version = self._version
+        return self._cands
+
+    def worker_capacities(self, idx: np.ndarray) -> np.ndarray:
+        """Summed worker-core GHz per node in ``idx`` (fresh array).
+
+        Per-row sum over the same ``W`` contiguous values the scalar
+        ``worker_capacity_ghz`` sums — identical pairwise reduction,
+        identical doubles.
+        """
+        return self._fw[idx].sum(axis=1)
+
+    # -------------------------------------------------------------- telemetry
+
+    def sample_energy(
+        self, read_fn: Optional[Callable[[int], float]] = None
+    ) -> np.ndarray:
+        """Gather per-node cumulative energy into a fresh stacked array.
+
+        ``read_fn(i)`` overrides the plain monitor read (the power-cap
+        coordinator passes its partition-aware reader).  The per-node
+        arithmetic is untouched — RAPL counters integrate lazily with
+        per-core state, so batching here means one fleet-wide gather, not
+        re-ordered float math.
+        """
+        out = np.empty(self.num_nodes)
+        if read_fn is None:
+            for i, node in enumerate(self.nodes):
+                out[i] = node.monitor.total_energy()
+        else:
+            for i in range(self.num_nodes):
+                out[i] = read_fn(i)
+        return out
+
+    # ------------------------------------------------------- controller ticks
+
+    def adopt_controllers(
+        self, controllers: Sequence[Any], live_tick_counts: bool = False
+    ) -> bool:
+        """Replace ``N`` per-node controller tasks with one fleet tick.
+
+        Returns ``False`` (adopting nothing) unless every controller is a
+        plain, started, homogeneous
+        :class:`~repro.core.thread_controller.ThreadController` with no
+        instance-level ``tick`` override and no trace recording.  With
+        ``live_tick_counts`` each controller's ``tick_count`` is advanced
+        every tick (DeepPower's DRL step reads it mid-run); otherwise the
+        counts are settled once at :meth:`detach`.
+        """
+        from ..core.thread_controller import ThreadController
+
+        ctrls = list(controllers)
+        if len(ctrls) != self.num_nodes:
+            return False
+        ref = ctrls[0]
+        for c in ctrls:
+            if not isinstance(c, ThreadController):
+                return False
+            if "tick" in c.__dict__ or c.record_trace:
+                return False
+            if c._task is None or c._task.stopped:
+                return False
+            if (
+                c.short_time != ref.short_time
+                or c.sla != ref.sla
+                or c.table is not ref.table
+                or c.server.num_workers != self.num_workers
+            ):
+                return False
+        n, w = self.num_nodes, self.num_workers
+        self._controllers = ctrls
+        self._live_tick_counts = bool(live_tick_counts)
+        self._tick_total = 0
+        self._sla = ref.sla
+        self._fmin = ref._fmin
+        self._fspan = ref._fspan
+        self._turbo = ref._turbo
+        self._table = ref.table
+        for i, c in enumerate(ctrls):
+            self._base[i, 0] = c.base_freq
+            self._coef[i, 0] = c.scaling_coef
+            c._params_listener = self._make_params_hook(i)
+            c._task.stop()
+        # Nodes whose cores carry instance-level set_frequency overrides
+        # (power-cap ceilings, actuator faults) take the per-node scalar
+        # apply lane; overrides are static for the run by construction.
+        self._ov_rows = [
+            i
+            for i, node in enumerate(self.nodes)
+            if any("set_frequency" in core.__dict__ for core in node.cpu.cores[:w])
+        ]
+        self._win_rows = [(i, c) for i, c in enumerate(ctrls) if c._win]
+        # Reused per-tick buffers (the fleet tick must not allocate).
+        self._scores_buf = np.empty((n, w))
+        self._raw_buf = np.empty((n, w))
+        self._quant_buf = np.empty((n, w))
+        self._nan_mask = np.empty((n, w), dtype=bool)
+        self._turbo_mask = np.empty((n, w), dtype=bool)
+        self._diff_mask = np.empty((n, w), dtype=bool)
+        engine = self.nodes[0].engine
+        self._tick_task = engine.every(
+            ref.short_time, self._tick_all, start_delay=0.0,
+            priority=PRIORITY_CONTROL,
+        )
+        self._engine = engine
+        return True
+
+    def _make_params_hook(self, i: int) -> Callable[[Any], None]:
+        base, coef = self._base, self._coef
+
+        def note(c: Any) -> None:
+            base[i, 0] = c.base_freq
+            coef[i, 0] = c.scaling_coef
+
+        return note
+
+    def _tick_all(self) -> None:
+        """Algorithm 1 for every worker core of every node, one event.
+
+        Same per-element IEEE operations as the per-node tick; only DVFS
+        levels that changed get a write (via each core's listener the
+        writes land straight back in the frequency matrix rows).
+        """
+        now = self._engine.now
+        b = self.begins
+        s = self._scores_buf
+        np.subtract(now, b, out=s)
+        s /= self._sla
+        s *= self._coef
+        s += self._base
+        np.isnan(b, out=self._nan_mask)
+        np.copyto(s, self._base, where=self._nan_mask)  # idle: score = base
+        raw = self._raw_buf
+        np.greater_equal(s, 1.0, out=self._turbo_mask)
+        np.multiply(s, self._fspan, out=raw)
+        raw += self._fmin
+        np.copyto(raw, self._turbo, where=self._turbo_mask)
+        q = self._quant_buf
+        self._table.quantize_into(raw.reshape(-1), q.reshape(-1))
+        diff = self._diff_mask
+        np.not_equal(q, self._fw, out=diff)
+        if self._ov_rows:
+            w = self.num_workers
+            for i in self._ov_rows:
+                diff[i, :] = False
+                # Overridden cores must see one raw write per tick (RNG
+                # draws, cap clamps) — the unmodified per-node path.
+                applied = self.nodes[i].cpu.set_frequencies(raw[i], count=w)
+                ctrl = self._controllers[i]
+                if ctrl._win:
+                    ctrl._win_observe(float(applied.mean()))
+        rows, cols = np.nonzero(diff)
+        if rows.size:
+            nodes = self.nodes
+            for r, c in zip(rows.tolist(), cols.tolist()):
+                nodes[r].cpu.cores[c].set_frequency(float(q[r, c]), quantize=False)
+        for i, ctrl in self._win_rows:
+            if i not in self._ov_rows:
+                ctrl._win_observe(float(q[i].mean()))
+        self._tick_total += 1
+        if self._live_tick_counts:
+            for ctrl in self._controllers:
+                ctrl.tick_count += 1
+
+    def detach(self) -> None:
+        """Stop the fleet tick and settle per-controller state.
+
+        Idempotent; called before drivers stop so ``controller.stop()``
+        still works on the (already stopped) per-node tasks.
+        """
+        if self._tick_task is not None:
+            self._tick_task.stop()
+            self._tick_task = None
+        for c in self._controllers:
+            c._params_listener = None
+            if not self._live_tick_counts:
+                c.tick_count += self._tick_total
+        self._controllers = []

@@ -85,6 +85,15 @@ class RoundRobinRouter(Router):
         self._next = nodes[chosen].node_id + 1
         return chosen
 
+    def select_batch(self, batch, cand_idx: np.ndarray) -> int:
+        # cand_idx holds node ids in ascending order, so the linear scan
+        # for the first id >= cursor is a searchsorted.
+        pos = int(np.searchsorted(cand_idx, self._next))
+        if pos == cand_idx.size:  # cursor past every candidate: wrap
+            pos = 0
+        self._next = int(cand_idx[pos]) + 1
+        return pos
+
 
 class JoinShortestQueueRouter(Router):
     """Send each request to the node with the smallest backlog.
@@ -102,6 +111,11 @@ class JoinShortestQueueRouter(Router):
             if best_load is None or load < best_load:
                 best, best_load = i, load
         return best
+
+    def select_batch(self, batch, cand_idx: np.ndarray) -> int:
+        # argmin returns the first minimum — identical tie-break to the
+        # scalar strict-< scan above (and backlogs are exact integers).
+        return int(np.argmin(batch.backlog[cand_idx]))
 
 
 class PowerAwareRouter(Router):
@@ -128,6 +142,15 @@ class PowerAwareRouter(Router):
             if best_cost is None or cost < best_cost:
                 best, best_cost = i, cost
         return best
+
+    def select_batch(self, batch, cand_idx: np.ndarray) -> int:
+        # Same doubles as the scalar scan: per-row capacity sums over the
+        # identical W values, the same (backlog + 1) / max(cap, 1e-9)
+        # division, first-minimum tie-break.
+        caps = batch.worker_capacities(cand_idx)
+        np.maximum(caps, 1e-9, out=caps)
+        cost = (batch.backlog[cand_idx] + 1) / caps
+        return int(np.argmin(cost))
 
 
 #: Routing-policy name -> zero-argument constructor.
@@ -200,6 +223,15 @@ class Dispatcher:
         self.dispatched = 0
         #: Requests that found no live node to run on.
         self.unroutable = 0
+        # Optional FleetBatch (batched fleet stepping): when attached,
+        # candidate filtering and routing run on its stacked arrays instead
+        # of per-node python attribute walks.  Decisions are bitwise
+        # identical — see the batched branch of ``submit``.
+        self._batch = None
+
+    def attach_batch(self, batch) -> None:
+        """Route through ``batch``'s stacked node arrays from now on."""
+        self._batch = batch
 
     def _candidates(self) -> List[ClusterNode]:
         cands = [n for n in self.nodes if not n.is_down]
@@ -217,6 +249,9 @@ class Dispatcher:
         return kept if kept else [n for n in cands if not n.is_degraded]
 
     def submit(self, req) -> None:
+        if self._batch is not None:
+            self._submit_batched(req)
+            return
         cands = self._candidates() if self.health_aware else self.nodes
         if not cands:
             self.unroutable += 1
@@ -233,6 +268,55 @@ class Dispatcher:
             )
         self.dispatched += 1
         cands[idx].submit(req)
+
+    def _submit_batched(self, req) -> None:
+        """Array-native replica of the scalar ``submit`` path.
+
+        Decision-for-decision identical: same candidate filter (down nodes
+        out, then probabilistic degraded de-weighting), same RNG draw
+        schedule (``rng.random(k)`` produces bitwise the k values k
+        sequential ``rng.random()`` calls would — one per degraded
+        candidate, in node-id order), same router arithmetic (the routers'
+        ``select_batch`` methods document their scalar equivalence).
+        """
+        batch = self._batch
+        if self.health_aware:
+            live_idx, deg_mask, n_deg = batch.live_candidates()
+            if live_idx.size == 0:
+                self.unroutable += 1
+                if self.on_unroutable is not None:
+                    self.on_unroutable(req)
+                else:
+                    req.dropped = True
+                return
+            if (
+                self.rng is None
+                or self.degraded_penalty == 0.0
+                or n_deg == 0
+                or n_deg == live_idx.size
+            ):
+                cand_idx = live_idx
+            else:
+                draws = self.rng.random(n_deg)
+                keep = np.ones(live_idx.size, dtype=bool)
+                keep[deg_mask] = draws >= self.degraded_penalty
+                cand_idx = live_idx[keep]
+                if cand_idx.size == 0:
+                    cand_idx = live_idx[~deg_mask]
+        else:
+            cand_idx = batch.all_indices
+        select_batch = getattr(self.router, "select_batch", None)
+        if select_batch is not None:
+            pos = select_batch(batch, cand_idx)
+        else:  # custom router: fall back to its scalar protocol
+            pos = self.router.select([self.nodes[i] for i in cand_idx.tolist()])
+        if not 0 <= pos < cand_idx.size:
+            raise IndexError(
+                f"router {self.router.name!r} selected node {pos} "
+                f"of {cand_idx.size}"
+            )
+        self.dispatched += 1
+        self.nodes[int(cand_idx[pos])].submit(req)
 
     def routed_counts(self) -> List[int]:
         """Requests routed to each node so far, in node-id order."""

@@ -26,6 +26,20 @@ generation counter so the stale promotion is ignored.
 
 Everything is scheduled from plan data on the shared engine, so two runs
 at the same seed replay the identical fault history bit for bit.
+
+Batched-stepping interplay
+--------------------------
+Under batched fleet stepping (:mod:`repro.cluster.batch`) no lifecycle
+code changes: state flips flow through the ``ClusterNode.state`` setter
+into the batch's down/degraded masks, ``evacuate()`` fires the server's
+reset hook (zeroing the stacked backlog entry), and parked-core writes
+land in the stacked frequency rows via the normal core listeners.  Fault
+events share ``PRIORITY_CONTROL`` with controller ticks, but every fault
+event coinciding with a tick time was scheduled strictly earlier in
+simulated time than that tick's reschedule (ticks re-arm one short-time
+ahead), so faults pop before ticks under both per-node and fleet-wide
+tick tasks — event order, and therefore the trace byte stream, is
+identical.
 """
 
 from __future__ import annotations

@@ -42,6 +42,7 @@ from ..workload.apps import AppSpec
 __all__ = [
     "NodeContext",
     "ClusterNode",
+    "FixedControllerDriver",
     "NODE_POLICIES",
     "build_node_driver",
     "HEALTHY",
@@ -130,7 +131,11 @@ class ClusterNode:
         #: Requests the dispatcher routed to this node.
         self.routed = 0
         #: Lifecycle state; immortal fleets (no fault plan) stay "healthy".
-        self.state: str = HEALTHY
+        self._state: str = HEALTHY
+        # Fleet-batch hooks (None outside batched fleet runs): the batch
+        # mirrors routed counts and lifecycle state into stacked arrays.
+        self.on_routed: Optional[Callable[[], None]] = None
+        self._state_listener: Optional[Callable[["ClusterNode"], None]] = None
 
     # ------------------------------------------------------------------ wiring
 
@@ -152,9 +157,21 @@ class ClusterNode:
     def submit(self, req) -> None:
         """Dispatcher entry point: hand a routed request to the server."""
         self.routed += 1
+        if self.on_routed is not None:
+            self.on_routed()
         self.server.submit(req)
 
     # ------------------------------------------------------------------ health
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    @state.setter
+    def state(self, value: str) -> None:
+        self._state = value
+        if self._state_listener is not None:
+            self._state_listener(self)
 
     @property
     def is_down(self) -> bool:
@@ -231,10 +248,52 @@ def _baseline_node_driver(policy: str):
     return build
 
 
+class FixedControllerDriver:
+    """DeepPower's 1 ms thread controller with frozen ``(BaseFreq,
+    ScalingCoef)`` and no learner on top.
+
+    The cheapest tick-driven node policy: per-request work is just the
+    server pipeline, and the whole per-tick cost is Algorithm 1 itself —
+    which makes it the policy the fleet-scaling benchmark uses to measure
+    batched vs. scalar stepping at 256-1024 nodes, and a reasonable static
+    operating point in its own right (the paper's Fig 4 frequency floor).
+    """
+
+    def __init__(
+        self,
+        node: ClusterNode,
+        base_freq: float = 0.35,
+        scaling_coef: float = 0.6,
+        short_time: Optional[float] = None,
+    ) -> None:
+        from ..core.thread_controller import ThreadController
+
+        self.controller = ThreadController(
+            node.engine, node.server, short_time=short_time
+        )
+        self.controller.set_params(base_freq, scaling_coef)
+
+    def start(self) -> None:
+        self.controller.start()
+
+    def stop(self) -> None:
+        self.controller.stop()
+
+
+def _controller_node_driver(
+    node: ClusterNode,
+    kwargs: Dict[str, Any],
+    agent_path: Optional[str],
+    agent_seed: int,
+):
+    return FixedControllerDriver(node, **kwargs)
+
+
 #: Per-node policy name -> ``build(node, kwargs, agent_path, agent_seed)``.
 NODE_POLICIES: Dict[str, Callable] = {
     **{name: _baseline_node_driver(name) for name in GRID_POLICIES},
     "deeppower": _deeppower_node_driver,
+    "controller": _controller_node_driver,
 }
 
 

@@ -200,6 +200,14 @@ class PowerCapCoordinator:
         self.history: List[CapWindow] = []
         #: Windows in which at least one node's ceiling was below turbo.
         self.throttled_windows = 0
+        # Optional FleetBatch: energy reads and the live mask come from its
+        # stacked arrays instead of per-node attribute walks.  Values are
+        # identical (the batch masks mirror node state via listeners).
+        self._batch: Any = None
+
+    def attach_batch(self, batch: Any) -> None:
+        """Source per-node gathers from ``batch``'s stacked arrays."""
+        self._batch = batch
 
     @property
     def feasible(self) -> bool:
@@ -249,6 +257,8 @@ class PowerCapCoordinator:
         return float(self.nodes[i].monitor.total_energy())
 
     def _live_mask(self) -> np.ndarray:
+        if self._batch is not None:
+            return ~self._batch.down
         return np.array([not n.is_down for n in self.nodes], dtype=bool)
 
     def _parked_mask(self) -> np.ndarray:
@@ -259,7 +269,11 @@ class PowerCapCoordinator:
         )
 
     def _rebalance(self) -> None:
-        energies = np.array([self._read_energy(i) for i in range(len(self.nodes))])
+        energies = (
+            self._batch.sample_energy(self._read_energy)
+            if self._batch is not None
+            else np.array([self._read_energy(i) for i in range(len(self.nodes))])
+        )
         now = self.engine.now
         dt = now - self._last_time
         if dt <= 0:  # pragma: no cover - periodic task guarantees dt > 0

@@ -39,6 +39,7 @@ from ..sim.rng import RngRegistry
 from ..workload.apps import get_app
 from ..workload.arrivals import OpenLoopSource
 from ..workload.trace import WorkloadTrace
+from .batch import SCALAR_BATCH_CUTOFF, FleetBatch
 from .dispatch import ROUTERS, Dispatcher, StragglerDetector, make_router
 from .lifecycle import NodeLifecycle
 from .node import NODE_POLICIES, ClusterNode, build_node_driver
@@ -86,6 +87,12 @@ class ClusterConfig:
     straggler_multiple: float = 3.0
     #: Probability a degraded node is dropped from one routing decision.
     degraded_penalty: float = 0.5
+    #: Fleet stepping strategy: "auto" batches cross-node work once the
+    #: fleet reaches SCALAR_BATCH_CUTOFF nodes, "batched"/"scalar" force
+    #: one mode.  Pure execution strategy — results are bitwise identical
+    #: either way (tests byte-compare traces), so this field is excluded
+    #: from FleetSpec cache payloads.
+    stepping: str = "auto"
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
@@ -116,6 +123,20 @@ class ClusterConfig:
             raise ValueError(
                 f"degraded_penalty must be in [0, 1], got {self.degraded_penalty}"
             )
+        if self.stepping not in ("auto", "batched", "scalar"):
+            raise ValueError(
+                f"stepping must be 'auto', 'batched' or 'scalar', "
+                f"got {self.stepping!r}"
+            )
+
+    @property
+    def batched_stepping(self) -> bool:
+        """Whether this fleet steps through the batched cross-node path."""
+        if self.stepping == "batched":
+            return True
+        if self.stepping == "scalar":
+            return False
+        return self.num_nodes >= SCALAR_BATCH_CUTOFF
 
     @property
     def resilience_active(self) -> bool:
@@ -325,9 +346,46 @@ class ClusterSim:
                 multiple=config.straggler_multiple,
                 on_change=self._on_health_change,
             )
+        # Batched fleet stepping: stack per-node state into fleet-wide
+        # arrays and route dispatch / power-cap reads through them.  Built
+        # last so every override the coordinator or fault harness installs
+        # is already in place when the batch snapshots node state.
+        self.batch: Optional[FleetBatch] = None
+        if config.batched_stepping:
+            self.batch = FleetBatch(self.nodes)
+            self.dispatcher.attach_batch(self.batch)
+            if self.coordinator is not None:
+                self.coordinator.attach_batch(self.batch)
         # Per-node energy at the last telemetry window (node-window events).
         self._win_energy = np.zeros(len(self.nodes))
         self._win_time = 0.0
+
+    def _adopt_batched_controllers(self) -> None:
+        """Coalesce per-node controller ticks into one fleet tick.
+
+        Only engages for tick-driven policies that expose a
+        ``.controller`` (the "controller" fixed-parameter policy and
+        fault-free DeepPower fleets); everything else keeps its per-node
+        tasks.  DeepPower fleets under a fault plan are excluded because
+        the resilience watchdog stops/starts individual controllers
+        mid-run.  Called after every driver, the coordinator and the
+        lifecycle have started, so frequency overrides are all installed
+        and the adoption validation sees the final tick topology.
+        """
+        if self.batch is None:
+            return
+        cfg = self.config
+        if cfg.policy == "deeppower" and cfg.resilience_active:
+            return
+        controllers = []
+        for driver in self.drivers:
+            ctrl = getattr(driver, "controller", None)
+            if ctrl is None:
+                return
+            controllers.append(ctrl)
+        self.batch.adopt_controllers(
+            controllers, live_tick_counts=cfg.policy == "deeppower"
+        )
 
     def _on_health_change(self, node: ClusterNode, state: str) -> None:
         if self._trace_writer is not None:
@@ -345,8 +403,13 @@ class ClusterSim:
         tw = self._trace_writer
         now = self.engine.now
         dt = now - self._win_time
+        energies = (
+            self.batch.sample_energy()
+            if self.batch is not None
+            else np.array([n.monitor.total_energy() for n in self.nodes])
+        )
         for i, node in enumerate(self.nodes):
-            energy = node.monitor.total_energy()
+            energy = float(energies[i])
             tw.emit(
                 "node-window",
                 t=now,
@@ -395,6 +458,7 @@ class ClusterSim:
             self.coordinator.start()
         if self.lifecycle is not None:
             self.lifecycle.start()
+        self._adopt_batched_controllers()
         health_task = None
         if self.detector is not None:
             health_task = self.engine.every(
@@ -442,6 +506,8 @@ class ClusterSim:
             health_task.stop()
         if self.coordinator is not None:
             self.coordinator.stop()
+        if self.batch is not None:
+            self.batch.detach()
         for driver in self.drivers:
             if driver is not None and hasattr(driver, "stop"):
                 driver.stop()
@@ -565,6 +631,10 @@ class FleetSpec:
     health_aware: Optional[bool] = None
     straggler_multiple: float = 3.0
     degraded_penalty: float = 0.5
+    #: Execution strategy only (results are bitwise identical either way),
+    #: so deliberately NOT part of ``cache_payload``: a cached scalar
+    #: result is valid for a batched request and vice versa.
+    stepping: str = "auto"
 
     def cache_payload(self) -> dict:
         from ..parallel.cache import file_digest, plan_digest
@@ -614,6 +684,7 @@ class FleetSpec:
             health_aware=self.health_aware,
             straggler_multiple=self.straggler_multiple,
             degraded_penalty=self.degraded_penalty,
+            stepping=self.stepping,
         )
 
     def execute(self) -> Tuple[FleetMetrics, Dict[str, Any]]:

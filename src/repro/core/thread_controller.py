@@ -22,7 +22,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from time import perf_counter
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 import numpy as np
 
@@ -92,6 +92,10 @@ class ThreadController:
         self._raw_buf = np.empty(nw)
         self._idle_mask = np.empty(nw, dtype=bool)
         self._turbo_mask = np.empty(nw, dtype=bool)
+        # Fleet-batch hook: when a FleetBatch has adopted this controller's
+        # tick, it mirrors (base_freq, scaling_coef) into its stacked
+        # parameter arrays through this callback on every set_params.
+        self._params_listener: Optional[Callable[["ThreadController"], None]] = None
         # Observability (all opt-in; the default costs one branch per tick).
         self._win = False
         self._win_ticks = 0
@@ -105,6 +109,8 @@ class ThreadController:
         """Update the two DRL-provided parameters (both clipped to [0, 1])."""
         self.base_freq = float(np.clip(base_freq, 0.0, 1.0))
         self.scaling_coef = float(np.clip(scaling_coef, 0.0, 1.0))
+        if self._params_listener is not None:
+            self._params_listener(self)
 
     def start(self) -> None:
         """Begin ticking every ``short_time`` (idempotent).

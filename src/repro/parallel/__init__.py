@@ -36,13 +36,22 @@ from .grid import (
     grid_trace_path,
     run_grid,
 )
-from .pool import ItemOutcome, ParallelMap, derive_seed, effective_jobs
+from .pool import (
+    ItemOutcome,
+    ParallelMap,
+    PoolStats,
+    derive_seed,
+    effective_jobs,
+    shutdown_pools,
+)
 
 __all__ = [
     "ParallelMap",
     "ItemOutcome",
+    "PoolStats",
     "derive_seed",
     "effective_jobs",
+    "shutdown_pools",
     "RunResultCache",
     "content_key",
     "default_cache_root",

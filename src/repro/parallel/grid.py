@@ -180,6 +180,9 @@ class GridOutcome:
     error: Optional[str] = None
     from_cache: bool = False
     elapsed: float = 0.0
+    #: Snapshot of the serving pool's lifetime stats (forks, tasks/worker,
+    #: reuse counters); ``None`` for cache hits and serial execution.
+    pool_stats: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -364,11 +367,13 @@ def run_grid(
         t0 = time.perf_counter()
         results: List[ItemOutcome] = pool.map(_cell_worker, [s for _, s, _ in pending])
         elapsed = time.perf_counter() - t0
+        stats = pool.last_stats.as_dict() if pool.last_stats is not None else None
         for (i, spec, key), item in zip(pending, results):
             if item.ok:
                 metrics, extras = item.value
                 outcomes[i] = GridOutcome(
-                    spec=spec, metrics=metrics, extras=extras, elapsed=elapsed
+                    spec=spec, metrics=metrics, extras=extras, elapsed=elapsed,
+                    pool_stats=stats,
                 )
                 if cache is not None and key is not None:
                     cache.put(key, (metrics, extras))

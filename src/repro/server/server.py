@@ -28,7 +28,7 @@ RMSE.
 
 from __future__ import annotations
 
-from typing import List, Optional, Protocol
+from typing import Callable, List, Optional, Protocol
 
 import numpy as np
 
@@ -139,6 +139,11 @@ class Server:
         # A paused (crashed) server accepts arrivals into the queue but never
         # dispatches them; the cluster lifecycle flips this around crashes.
         self._paused = False
+        # Cluster-batch hooks (None outside batched fleet runs): called after
+        # a completion is accounted / after an evacuation reset, so the fleet
+        # batch can maintain its stacked backlog array incrementally.
+        self.on_done: Optional[Callable[[], None]] = None
+        self.on_reset: Optional[Callable[[], None]] = None
 
     # ----------------------------------------------------------------- wiring
 
@@ -195,6 +200,8 @@ class Server:
         self._idle = list(reversed(self.workers))
         self._begin_times[:] = np.nan
         self._paused = True
+        if self.on_reset is not None:
+            self.on_reset()
         return evacuated
 
     # -------------------------------------------------------------- inspection
@@ -244,6 +251,8 @@ class Server:
             self._dispatch(worker, self.queue.pop())
         else:
             self._idle.append(worker)
+        if self.on_done is not None:
+            self.on_done()
 
     def drain_remaining(self) -> int:
         """Requests still queued or in flight (diagnostics at run end)."""

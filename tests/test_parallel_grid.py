@@ -11,7 +11,7 @@ import multiprocessing
 import numpy as np
 import pytest
 
-from repro.parallel import RunSpec, RunResultCache, run_grid
+from repro.parallel import RunSpec, RunResultCache, run_grid, shutdown_pools
 from repro.parallel.grid import EXTRAS_COLLECTORS, execute_run_spec
 from repro.workload.trace import constant_trace
 
@@ -112,6 +112,40 @@ class TestGridDeterminism:
         a = run_grid(specs, jobs=1, warmup=None)
         b = run_grid(specs, jobs=1, warmup=None)
         _assert_outcomes_bitwise_equal(a, b)
+
+
+@pytest.mark.skipif(not _HAS_FORK, reason="fork start method unavailable")
+class TestGridPoolReuse:
+    """ISSUE 8: whole run_grid invocations share one persistent pool."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_registry(self):
+        shutdown_pools()
+        yield
+        shutdown_pools()
+
+    def test_consecutive_grids_fork_at_most_once_per_worker(self):
+        specs = _specs(duration=0.8)
+        first = run_grid(specs, jobs=2, warmup=None)
+        second = run_grid(specs, jobs=2, warmup=None)
+        for outs in (first, second):
+            stats = next(o.pool_stats for o in outs if o.pool_stats)
+            assert stats["workers"] == 2
+            assert stats["forks"] == 2  # never re-forked
+        stats2 = next(o.pool_stats for o in second if o.pool_stats)
+        assert stats2["map_calls"] == 2
+        assert stats2["reused_maps"] == 1
+        assert stats2["tasks"] == 2 * len(specs)
+        _assert_outcomes_bitwise_equal(first, second)
+
+    def test_serial_and_cached_outcomes_have_no_pool_stats(self, tmp_path):
+        specs = _specs(duration=0.8)[:2]
+        serial = run_grid(specs, jobs=1, warmup=None)
+        assert all(o.pool_stats is None for o in serial)
+        cache = RunResultCache(root=str(tmp_path))
+        run_grid(specs, jobs=2, cache=cache, warmup=None)
+        warm = run_grid(specs, jobs=2, cache=cache, warmup=None)
+        assert all(o.from_cache and o.pool_stats is None for o in warm)
 
 
 class TestGridCache:

@@ -1,15 +1,22 @@
 """Tests for the deterministic process-pool map (repro.parallel.pool)."""
 
+import functools
+import multiprocessing
 import os
 
 import pytest
 
 from repro.parallel.pool import (
+    _POOLS,
     ItemOutcome,
     ParallelMap,
+    PoolStats,
     derive_seed,
     effective_jobs,
+    shutdown_pools,
 )
+
+_HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
 
 
 # Module-level so the fork pool can pickle them by reference.
@@ -115,3 +122,105 @@ class TestForkMap:
     def test_single_item_stays_in_process(self):
         (out,) = ParallelMap(jobs=4).map(_pid_and_value, ["x"])
         assert out.unwrap() == (os.getpid(), "x")
+
+
+class TestPoolStats:
+    def test_tasks_per_worker(self):
+        stats = PoolStats(workers=4, forks=4, tasks=12)
+        assert stats.tasks_per_worker == 3.0
+        assert PoolStats().tasks_per_worker == 0.0
+
+    def test_as_dict_round_trip(self):
+        d = PoolStats(workers=2, forks=2, map_calls=3, reused_maps=2,
+                      tasks=10, chunksize=2).as_dict()
+        assert d["forks"] == 2
+        assert d["reused_maps"] == 2
+        assert d["tasks_per_worker"] == 5.0
+
+
+@pytest.mark.skipif(not _HAS_FORK, reason="fork start method unavailable")
+class TestPersistentPool:
+    """ISSUE 8: workers survive across maps — fork once, map many."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_registry(self):
+        shutdown_pools()
+        yield
+        shutdown_pools()
+
+    def test_workers_reused_across_maps(self):
+        pool = ParallelMap(jobs=2)
+        first = pool.map_values(_pid_and_value, list(range(6)))
+        stats1 = pool.last_stats
+        second = pool.map_values(_pid_and_value, list(range(6)))
+        stats2 = pool.last_stats
+        # Only the two originally-forked workers ever served a task.
+        assert len({p for p, _ in first + second}) <= 2
+        assert stats1.forks == 2
+        assert stats2.forks == 2  # unchanged: the regression this guards
+        assert stats2.map_calls == 2
+        assert stats2.reused_maps == 1
+
+    def test_reuse_across_parallelmap_instances(self):
+        ParallelMap(jobs=2).map(_square, range(4))
+        pool = ParallelMap(jobs=2)
+        pool.map(_square, range(4))
+        assert pool.last_stats.forks == 2
+        assert pool.last_stats.reused_maps == 1
+
+    def test_last_stats_is_a_snapshot(self):
+        pool = ParallelMap(jobs=2)
+        pool.map(_square, range(4))
+        snap = pool.last_stats
+        pool.map(_square, range(4))
+        assert snap.map_calls == 1  # not mutated by the second map
+
+    def test_shutdown_then_refork(self):
+        pool = ParallelMap(jobs=2)
+        pool.map(_square, range(4))
+        assert shutdown_pools() == 1
+        assert not _POOLS
+        pool.map(_square, range(4))
+        assert pool.last_stats.reused_maps == 0  # fresh pool re-forked
+
+    def test_chunksize_auto_sizes_to_four_chunks_per_worker(self):
+        pool = ParallelMap(jobs=2)
+        pool.map(_square, range(32))
+        assert pool.last_stats.chunksize == 4
+        explicit = ParallelMap(jobs=2, chunksize=7)
+        explicit.map(_square, range(32))
+        assert explicit.last_stats.chunksize == 7
+
+    def test_partial_of_module_function_stays_persistent(self):
+        # functools.partial pickles its inner function by reference, so it
+        # is registry-safe like any module-level callable.
+        fn = functools.partial(_square)
+        pool = ParallelMap(jobs=2)
+        assert pool.map_values(fn, [2, 3]) == [4, 9]
+        assert pool.last_stats.forks == 2
+
+    def test_main_module_function_never_enters_registry(self):
+        # A __main__-defined function is invisible to a worker forked
+        # before it existed; unpickling it there kills the worker and the
+        # map never returns.  The guard must keep such functions out of
+        # the persistent registry entirely.
+        ns = {}
+        exec(compile("def ghost(x):\n    return x\n", "<test>", "exec"), ns)
+        ghost = ns["ghost"]
+        ghost.__module__ = "__main__"
+        pool = ParallelMap(jobs=2)
+        try:
+            pool.map(ghost, [1, 2])
+        except Exception:
+            pass  # unpicklable from pytest's parent — irrelevant here
+        assert not _POOLS
+
+    def test_persistent_false_bypasses_registry(self):
+        pool = ParallelMap(jobs=2, persistent=False)
+        assert pool.map_values(_square, [2, 3]) == [4, 9]
+        assert not _POOLS
+
+    def test_serial_map_sets_no_stats(self):
+        pool = ParallelMap(jobs=1)
+        pool.map(_square, [1, 2])
+        assert pool.last_stats is None

@@ -95,7 +95,9 @@ DEFAULT_BASELINE = os.path.join(os.path.dirname(__file__), "bench_perf_baseline.
 #: BENCH_perf.json schema version (documented in EXPERIMENTS.md).
 #: Schema 2 (ISSUE 8): adds the ``fleet_scaling`` batched-vs-scalar
 #: section, per-section ``cpus`` fields, and grid ``pool_stats``.
-BENCH_SCHEMA = 2
+#: Schema 3 (ISSUE 9): adds the ``trace`` section — streaming-summarize
+#: MB/s and compressed-vs-plain trace size ratios.
+BENCH_SCHEMA = 3
 
 #: --check fails when ticks/sec falls below (1 - this) * baseline.
 REGRESSION_TOLERANCE = 0.30
@@ -109,6 +111,13 @@ FLEET_SPEEDUP_FLOOR = 5.0
 #: machine actually has more cores than grid jobs; an oversubscribed run
 #: (jobs > cpus) skips the gate with a logged reason.
 GRID_SPEEDUP_FLOOR = 1.5
+
+#: --trace --check fails when the streaming fleet summarizer processes
+#: fewer MB of plain JSONL per second than this.  Deliberately far below
+#: any healthy machine (CI runners do 20-60 MB/s) — the gate exists to
+#: catch an accidental return to per-event accumulation, which tanks
+#: throughput by an order of magnitude at fleet scale.
+TRACE_SUMMARIZE_MBPS_FLOOR = 5.0
 
 #: --obs-check fails when the metrics-only observability A/B shows more
 #: than this fractional slowdown over the no-observability run.
@@ -480,6 +489,96 @@ def bench_fleet_scaling(
     }
 
 
+def _write_synthetic_fleet_trace(path: str, nodes: int, windows: int,
+                                 compress=None, segment_events=None) -> None:
+    """Emit a deterministic fleet-shaped trace (node/powercap windows)."""
+    from repro.obs import TraceWriter
+
+    with TraceWriter(
+        path, meta={"kind": "bench-trace", "num_nodes": nodes},
+        compress=compress, segment_events=segment_events,
+    ) as w:
+        w.emit("fleet-start", t=0.0, num_nodes=nodes)
+        for win in range(windows):
+            t = float(win + 1)
+            for node in range(nodes):
+                # Varied but deterministic floats so lines are full-width
+                # (repr floats dominate real trace bytes too).
+                w.emit(
+                    "node-window", t=t, node=node,
+                    power_w=15.0 + 0.125 * ((node * 7 + win) % 40),
+                    queue_len=(node + win) % 5,
+                    busy_workers=1 + (win % 2),
+                    routed=win * 70 + node,
+                    completed=win * 69 + node,
+                    timeouts=win % 3,
+                    ceiling=3.0,
+                )
+            w.emit(
+                "powercap-window", t=t,
+                total_w=nodes * (15.0 + 0.25 * (win % 8)),
+                budget_w=nodes * 18.0, throttled=win % 16 == 0,
+            )
+        for node in range(nodes):
+            w.emit(
+                "node-summary", t=float(windows), node=node,
+                routed=windows * 70 + node, availability=1.0, downtime=0.0,
+                metrics={"completed": windows * 69, "timeouts": 3},
+            )
+        w.emit("fleet-summary", t=float(windows),
+               metrics={"completed": nodes * windows * 69})
+
+
+def bench_trace(nodes: int = 32, windows: int = 500, repeats: int = 3) -> dict:
+    """Streaming-summarize throughput and compressed trace size ratios.
+
+    Writes one deterministic fleet-shaped trace (``nodes`` node-windows
+    per simulated second for ``windows`` seconds, plus powercap windows
+    and summaries), then measures (a) how many MB of plain JSONL
+    :func:`~repro.obs.summarize_fleet_trace` processes per wall second
+    (best of ``repeats``) and (b) the plain-vs-compressed size ratio of
+    the same event stream for each available codec.  ``--trace --check``
+    gates (a) at ``TRACE_SUMMARIZE_MBPS_FLOOR``; the ratios are
+    informational.
+    """
+    import tempfile
+
+    from repro.obs import summarize_fleet_trace, trace_codecs
+
+    with tempfile.TemporaryDirectory(prefix="bench-trace-") as tmp:
+        plain = os.path.join(tmp, "bench.trace.jsonl")
+        _write_synthetic_fleet_trace(plain, nodes, windows)
+        plain_bytes = os.path.getsize(plain)
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            summary = summarize_fleet_trace(plain)
+            best = min(best, time.perf_counter() - t0)
+        if len(summary.nodes) != nodes:  # pragma: no cover - sanity guard
+            raise AssertionError("bench trace summarized wrong node count")
+        result = {
+            "nodes": nodes,
+            "windows": windows,
+            "events": nodes * windows + windows + nodes + 3,
+            "plain_bytes": plain_bytes,
+            "summarize_seconds": best,
+            "summarize_mb_per_sec": plain_bytes / 1e6 / best,
+            "codecs": {},
+        }
+        for codec in trace_codecs():
+            out = os.path.join(tmp, f"bench.{codec}.trace.jsonl")
+            t0 = time.perf_counter()
+            _write_synthetic_fleet_trace(out, nodes, windows, compress=codec)
+            write_wall = time.perf_counter() - t0
+            size = os.path.getsize(out)
+            result["codecs"][codec] = {
+                "bytes": size,
+                "ratio_vs_plain": plain_bytes / size,
+                "write_seconds": write_wall,
+            }
+        return result
+
+
 def _grid_specs(apps, num_cores: int, duration: float, seed: int):
     specs = []
     for name in apps:
@@ -623,6 +722,19 @@ def run_benchmarks(args) -> dict:
             f"{scaling['ab_speedup']:.2f}x"
         )
         result["fleet_scaling"] = scaling
+    if args.trace:
+        print("[bench_perf] streaming trace summarize + compression ratios ...")
+        tr = bench_trace()
+        print(
+            f"  {tr['events']:,} events, {tr['plain_bytes'] / 1e6:.1f} MB "
+            f"plain: summarize {tr['summarize_mb_per_sec']:.1f} MB/s"
+        )
+        for codec, row in tr["codecs"].items():
+            print(
+                f"  {codec}: {row['bytes'] / 1e6:.2f} MB "
+                f"({row['ratio_vs_plain']:.1f}x smaller)"
+            )
+        result["trace"] = tr
     if args.bus:
         print("[bench_perf] control-bus overhead A/B (median of 5 paired rounds) ...")
         bus = bench_bus_overhead(duration=args.duration)
@@ -752,6 +864,16 @@ def check_regression(result: dict, baseline_path: str) -> int:
                     f"[bench_perf] batched nodes/sec {nps:,.0f} vs baseline "
                     f"{base_nps:,.0f} (floor {floor:,.0f}): OK"
                 )
+    trace = result.get("trace")
+    if trace is not None:
+        mbps = trace["summarize_mb_per_sec"]
+        if mbps < TRACE_SUMMARIZE_MBPS_FLOOR:
+            failures.append(
+                f"trace summarize throughput {mbps:.1f} MB/s below "
+                f"{TRACE_SUMMARIZE_MBPS_FLOOR} MB/s floor"
+            )
+        else:
+            print(f"[bench_perf] trace summarize {mbps:.1f} MB/s: OK")
     if failures:
         for msg in failures:
             print(f"[bench_perf] REGRESSION: {msg}", file=sys.stderr)
@@ -778,6 +900,11 @@ def main(argv=None) -> int:
                    help="also measure cluster-sim nodes-per-second scaling "
                         "(2/4/8 nodes) and the batched-vs-scalar stepping "
                         "A/B up to 1024 nodes (recorded in the JSON report)")
+    p.add_argument("--trace", action="store_true",
+                   help="also benchmark the streaming trace summarizer "
+                        "(MB/s over a synthetic fleet trace) and the "
+                        "compressed-vs-plain size ratio per codec; with "
+                        f"--check, gate MB/s at {TRACE_SUMMARIZE_MBPS_FLOOR}")
     p.add_argument("--bus", action="store_true",
                    help="also run the control-bus A/B; exit 1 when the "
                         "fault-free bus costs more than "

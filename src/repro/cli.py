@@ -167,6 +167,27 @@ def _power_cap_arg(value: str):
     return watts
 
 
+def _add_trace_layout_args(sp: argparse.ArgumentParser) -> None:
+    """Trace storage-layout flags shared by the fleet-shaped commands."""
+    sp.add_argument(
+        "--trace-segment-events", type=_positive_int, default=None,
+        help="rotate the trace into numbered segment files every N events "
+        "(--trace-out becomes a JSON segment index; read back "
+        "transparently by trace summarize/tail/query)",
+    )
+    sp.add_argument(
+        "--trace-compress", default=None, choices=["gzip", "zstd"],
+        help="compress the trace (gzip: stdlib; zstd: needs the optional "
+        "zstandard module)",
+    )
+    sp.add_argument(
+        "--trace-shard-nodes", action="store_true",
+        help="route node-tagged events into per-node segment files "
+        "(implies the indexed layout; per-node order is preserved, "
+        "cross-node interleaving is not)",
+    )
+
+
 def _validate_resume(parser: argparse.ArgumentParser, args) -> None:
     """``--resume`` needs an existing ``--checkpoint-dir`` to resume from."""
     if not getattr(args, "resume", False):
@@ -320,6 +341,9 @@ def _cmd_fleet(args) -> int:
                 "num_nodes": args.nodes,
                 "seed": seed,
             },
+            trace_segment_events=args.trace_segment_events,
+            trace_compress=args.trace_compress,
+            trace_shard_key="node" if args.trace_shard_nodes else None,
         )
     try:
         metrics = ClusterSim(config, trace, obs=obs).run()
@@ -421,6 +445,9 @@ def _cmd_chaos(args) -> int:
                 "failover": not args.no_failover,
                 "seed": seed,
             },
+            trace_segment_events=args.trace_segment_events,
+            trace_compress=args.trace_compress,
+            trace_shard_key="node" if args.trace_shard_nodes else None,
         )
     try:
         metrics = ClusterSim(config, trace, obs=obs).run()
@@ -518,6 +545,14 @@ def _cmd_soak(args) -> int:
     return 0
 
 
+def _node_arg(value: str):
+    """argparse type for ``--node``: trace node ids are ints when they can be."""
+    try:
+        return int(value)
+    except ValueError:
+        return value
+
+
 def _cmd_trace(args) -> int:
     from .obs import (
         TraceError,
@@ -527,9 +562,6 @@ def _cmd_trace(args) -> int:
         summarize_trace,
     )
 
-    if args.action != "summarize":
-        print(f"unknown trace action {args.action!r}; try: summarize", file=sys.stderr)
-        return 2
     try:
         if args.group_by == "node":
             print(render_fleet_summary(summarize_fleet_trace(args.file, strict=not args.lenient)))
@@ -539,6 +571,32 @@ def _cmd_trace(args) -> int:
         print(f"cannot summarize {args.file}: {exc}", file=sys.stderr)
         return 1
     print(render_summary(summary, limit=args.limit))
+    return 0
+
+
+def _cmd_trace_slice(args) -> int:
+    """Shared worker for ``trace tail`` and ``trace query``: JSONL out."""
+    import json
+
+    from .obs import TraceError, trace_query, trace_tail
+
+    filters = dict(
+        kind=args.kind,
+        node=args.node,
+        since=args.since,
+        until=args.until,
+        strict=not args.lenient,
+    )
+    try:
+        if args.action == "tail":
+            events = trace_tail(args.file, n=args.last, **filters)
+        else:
+            events = trace_query(args.file, limit=args.limit, **filters)
+        for event in events:
+            print(json.dumps(event))
+    except (TraceError, OSError, ValueError) as exc:
+        print(f"cannot {args.action} {args.file}: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -666,6 +724,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a node-tagged JSONL fleet trace here "
         "(inspect with: deeppower trace summarize FILE --group-by node)",
     )
+    _add_trace_layout_args(sp)
     sp.set_defaults(fn=_cmd_fleet)
 
     sp = sub.add_parser(
@@ -750,6 +809,7 @@ def build_parser() -> argparse.ArgumentParser:
         "node-down/node-up/redispatch events "
         "(inspect with: deeppower trace summarize FILE --group-by node)",
     )
+    _add_trace_layout_args(sp)
     sp.set_defaults(fn=_cmd_chaos)
 
     sp = sub.add_parser(
@@ -786,30 +846,84 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sp.set_defaults(fn=_cmd_soak)
 
-    sp = sub.add_parser("trace", help="inspect a JSONL observability trace")
-    sp.add_argument("action", help="what to do with the trace (summarize)")
-    sp.add_argument("file", help="path to a .trace.jsonl file")
-    sp.add_argument(
+    sp = sub.add_parser(
+        "trace",
+        help="inspect a JSONL observability trace (plain, gzip/zstd "
+        "compressed, or segmented — all read transparently)",
+    )
+    tsub = sp.add_subparsers(dest="action", required=True)
+
+    def _trace_common(tp: argparse.ArgumentParser) -> None:
+        tp.add_argument("file", help="path to a .trace.jsonl file (or index)")
+        strictness = tp.add_mutually_exclusive_group()
+        strictness.add_argument(
+            "--strict", action="store_true",
+            help="fail on malformed, truncated or empty traces (the "
+            "default; spelled out for scripts that want to be explicit)",
+        )
+        strictness.add_argument(
+            "--lenient", action="store_true",
+            help="tolerate truncated/unfinished/empty traces (e.g. a "
+            ".part file from a crashed run): use what parsed, warn "
+            "about the rest",
+        )
+
+    def _trace_filters(tp: argparse.ArgumentParser) -> None:
+        tp.add_argument(
+            "--kind", default=None,
+            help="only events of this kind (e.g. drl-step, node-window)",
+        )
+        tp.add_argument(
+            "--node", type=_node_arg, default=None,
+            help="only events tagged with this node id; on a node-sharded "
+            "trace other nodes' segment files are skipped via the index",
+        )
+        tp.add_argument(
+            "--since", type=float, default=None,
+            help="only events with virtual timestamp t >= SINCE; segments "
+            "wholly before it are skipped via the index",
+        )
+        tp.add_argument(
+            "--until", type=float, default=None,
+            help="only events with virtual timestamp t <= UNTIL; segments "
+            "wholly after it are skipped via the index",
+        )
+
+    tp = tsub.add_parser(
+        "summarize", help="rebuild per-interval / per-node tables"
+    )
+    _trace_common(tp)
+    tp.add_argument(
         "--limit", type=int, default=None,
         help="show only the last N per-interval rows",
     )
-    sp.add_argument(
+    tp.add_argument(
         "--group-by", default=None, choices=["node"],
         help="aggregate a fleet trace per node instead of per interval",
     )
-    strictness = sp.add_mutually_exclusive_group()
-    strictness.add_argument(
-        "--strict", action="store_true",
-        help="fail on malformed, truncated or empty traces (the default; "
-        "spelled out for scripts that want to be explicit)",
+    tp.set_defaults(fn=_cmd_trace)
+
+    tp = tsub.add_parser(
+        "tail", help="print the last N matching events as JSON lines"
     )
-    strictness.add_argument(
-        "--lenient", action="store_true",
-        help="tolerate truncated/unfinished/empty traces (e.g. a .part "
-        "file from a crashed run): summarize what parsed, warn about "
-        "the rest",
+    _trace_common(tp)
+    tp.add_argument(
+        "-n", "--last", type=_positive_int, default=10,
+        help="number of trailing events to print (default: 10)",
     )
-    sp.set_defaults(fn=_cmd_trace)
+    _trace_filters(tp)
+    tp.set_defaults(fn=_cmd_trace_slice)
+
+    tp = tsub.add_parser(
+        "query", help="print matching events in trace order as JSON lines"
+    )
+    _trace_common(tp)
+    _trace_filters(tp)
+    tp.add_argument(
+        "--limit", type=_positive_int, default=None,
+        help="stop after N matching events (default: all)",
+    )
+    tp.set_defaults(fn=_cmd_trace_slice)
     return p
 
 

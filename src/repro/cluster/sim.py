@@ -627,6 +627,12 @@ class FleetSpec:
     agent_seed: int = 7
     label: str = ""
     trace_out: Optional[str] = None
+    #: Trace storage layout (segment rotation, gzip/zstd codec, per-node
+    #: shards).  Like ``trace_out`` these shape a side artifact, not the
+    #: result, so they stay out of ``cache_payload``.
+    trace_segment_events: Optional[int] = None
+    trace_compress: Optional[str] = None
+    trace_shard_by_node: bool = False
     fault_plan: Optional[FleetFaultPlan] = None
     health_aware: Optional[bool] = None
     straggler_multiple: float = 3.0
@@ -703,6 +709,9 @@ class FleetSpec:
                     "seed": self.seed,
                     "label": self.label,
                 },
+                trace_segment_events=self.trace_segment_events,
+                trace_compress=self.trace_compress,
+                trace_shard_key="node" if self.trace_shard_by_node else None,
             )
         try:
             sim = ClusterSim(self.to_config(), self.trace, obs=obs)

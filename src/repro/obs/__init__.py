@@ -27,6 +27,7 @@ import json
 import os
 from typing import Any, Dict, Optional
 
+from .query import trace_query, trace_tail
 from .registry import Counter, Gauge, Histogram, MetricsRegistry
 from .spans import SpanRecorder
 from .summarize import (
@@ -37,7 +38,15 @@ from .summarize import (
     summarize_fleet_trace,
     summarize_trace,
 )
-from .trace import TRACE_SCHEMA, TraceError, TraceWriter, read_trace
+from .trace import (
+    TRACE_SCHEMA,
+    TraceError,
+    TraceWriter,
+    read_trace,
+    read_trace_index,
+    trace_codecs,
+    zstd_available,
+)
 
 __all__ = [
     "Counter",
@@ -49,6 +58,11 @@ __all__ = [
     "TraceError",
     "TRACE_SCHEMA",
     "read_trace",
+    "read_trace_index",
+    "trace_codecs",
+    "zstd_available",
+    "trace_query",
+    "trace_tail",
     "TraceSummary",
     "summarize_trace",
     "render_summary",
@@ -97,9 +111,27 @@ class Observability:
         metrics_out: Optional[str] = None,
         profile: bool = False,
         meta: Optional[Dict[str, Any]] = None,
+        trace_segment_events: Optional[int] = None,
+        trace_compress: Optional[str] = None,
+        trace_shard_key: Optional[str] = None,
     ) -> "Observability":
-        """Build from CLI-style output paths (either may be None)."""
-        trace = TraceWriter(trace_out, meta=meta) if trace_out else None
+        """Build from CLI-style output paths (either may be None).
+
+        ``trace_segment_events`` / ``trace_compress`` / ``trace_shard_key``
+        forward to :class:`TraceWriter` — segmented, compressed and/or
+        sharded layouts all read back through :func:`read_trace`.
+        """
+        trace = (
+            TraceWriter(
+                trace_out,
+                meta=meta,
+                segment_events=trace_segment_events,
+                compress=trace_compress,
+                shard_key=trace_shard_key,
+            )
+            if trace_out
+            else None
+        )
         return cls(trace=trace, metrics_out=metrics_out, profile=profile)
 
     # ------------------------------------------------------------------- sinks

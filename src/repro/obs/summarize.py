@@ -11,10 +11,20 @@ the trace (floats round-trip exactly through JSON).
 
 ``deeppower trace summarize <file>`` renders the table plus an event
 census and the run/episode summaries found in the trace.
+
+Both summarizers are **single-pass and bounded-memory** (ISSUE 9): the
+fleet view keeps O(nodes) running aggregates (last-window snapshot plus
+streaming count/peak/mean per node, streaming power-cap stats) instead of
+retaining every ``node-window`` event, and the per-interval join holds
+only a sliding window of recent steps (:data:`DEFAULT_JOIN_WINDOW`)
+rather than the whole table's worth of join state — summarizing a
+multi-gigabyte fleet trace peaks at megabytes of RSS, and the rendered
+output is byte-identical to the pre-streaming implementation.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -36,6 +46,20 @@ INTERVAL_COLUMNS = (
     "base_freq", "scaling_coef", "avg_freq", "queue_len", "rps", "power_w",
     "ticks", "dvfs_switches",
 )
+
+#: ``controller-window`` <-> ``drl-step`` join horizon: a window event may
+#: arrive up to this many steps after its step event and still join.  In
+#: every emitter the window trails its step by at most a handful of
+#: events, so the bound only exists to keep join state O(1) instead of
+#: O(steps) on production-volume traces.
+DEFAULT_JOIN_WINDOW = 4096
+
+
+def _is_number(value: Any) -> bool:
+    """True for real JSON numbers.  ``bool`` is an ``int`` subclass in
+    python, so an explicit exclusion keeps ``True`` from summarizing as
+    the number 1 (a boolean latency once rendered as 1000.0 ms)."""
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
 
 
 @dataclass
@@ -61,21 +85,29 @@ class TraceSummary:
     control: Dict[str, Any] = field(default_factory=dict)
 
 
-def summarize_trace(path: str, strict: bool = True) -> TraceSummary:
+def summarize_trace(
+    path: str, strict: bool = True, join_window: int = DEFAULT_JOIN_WINDOW
+) -> TraceSummary:
     """Parse a trace and rebuild the per-interval table.
 
     ``drl-step`` events provide reward/state/action/queue/power;
-    ``controller-window`` events (matched by episode + step) contribute
-    tick counts, window frequency stats and DVFS switch counts.  Bus-mode
-    runs additionally feed the ``control`` aggregation from ``bus-drop``,
-    ``stale-window``, ``cmd-retry`` and ``deadline-miss`` events (degraded
-    ``drl-step`` events carry ``state: null`` and NaN telemetry; they
-    appear in the interval table like any other step).
+    ``controller-window`` events (matched by episode + step, within the
+    last ``join_window`` steps) contribute tick counts, window frequency
+    stats and DVFS switch counts.  Bus-mode runs additionally feed the
+    ``control`` aggregation from ``bus-drop``, ``stale-window``,
+    ``cmd-retry`` and ``deadline-miss`` events (degraded ``drl-step``
+    events carry ``state: null`` and NaN telemetry; they appear in the
+    interval table like any other step).
     """
+    if join_window < 1:
+        raise ValueError(f"join_window must be >= 1, got {join_window}")
     summary = TraceSummary(path=path)
     episode: Optional[int] = None
     # (episode, step) -> row, for joining controller windows onto steps.
-    by_step: Dict[tuple, Dict[str, Any]] = {}
+    # Bounded: only the newest `join_window` steps stay joinable, so the
+    # join state is O(1) in trace length (the rows themselves live on in
+    # summary.intervals regardless).
+    by_step: "OrderedDict[tuple, Dict[str, Any]]" = OrderedDict()
 
     def control_bucket(key: str, sub: Any) -> None:
         bucket = summary.control.setdefault(key, {})
@@ -105,7 +137,11 @@ def summarize_trace(path: str, strict: bool = True) -> TraceSummary:
             control_bucket("deadline_misses", event.get("side", "?"))
         elif kind == "drl-step":
             reward = event.get("reward") or {}
-            action = event.get("action") or [float("nan")] * 2
+            # A degraded step can carry a short (or empty) action array;
+            # pad with NaN instead of letting action[1] raise IndexError.
+            action = list(event.get("action") or ())
+            while len(action) < 2:
+                action.append(float("nan"))
             row = {
                 "episode": episode,
                 "step": event.get("step"),
@@ -125,6 +161,8 @@ def summarize_trace(path: str, strict: bool = True) -> TraceSummary:
             }
             summary.intervals.append(row)
             by_step[(episode, event.get("step"))] = row
+            while len(by_step) > join_window:
+                by_step.popitem(last=False)
             if event.get("degraded"):
                 summary.control["degraded_intervals"] = (
                     summary.control.get("degraded_intervals", 0) + 1
@@ -233,6 +271,12 @@ class FleetTraceSummary:
     #: empty for immortal fleets.
     faults: Dict[str, Any] = field(default_factory=dict)
     warnings: List[Dict[str, Any]] = field(default_factory=list)
+    #: Streaming per-node ``node-window`` telemetry aggregates, keyed by
+    #: node id: ``{"windows", "peak_power_w", "mean_power_w"}``.  Not part
+    #: of the rendered table (which stays byte-identical to the
+    #: pre-streaming renderer) — programmatic consumers and ``trace
+    #: query`` tooling read it directly.
+    telemetry: Dict[Any, Dict[str, Any]] = field(default_factory=dict)
 
 
 def _node_row_from_metrics(node: int, metrics: Dict[str, Any]) -> Dict[str, Any]:
@@ -250,29 +294,45 @@ def _node_row_from_metrics(node: int, metrics: Dict[str, Any]) -> Dict[str, Any]
 
 
 def _scale_ms(seconds: Any) -> Any:
-    return seconds * 1e3 if isinstance(seconds, (int, float)) else seconds
+    return seconds * 1e3 if _is_number(seconds) else seconds
 
 
 def summarize_fleet_trace(path: str, strict: bool = True) -> FleetTraceSummary:
-    """Aggregate a fleet trace per node and fleet-wide.
+    """Aggregate a fleet trace per node and fleet-wide, in one bounded pass.
 
     Authoritative per-node rows come from ``node-summary`` events (energy,
     p95/p99 tail latencies, SLA violations); for traces truncated before
     run end (no summaries yet), rows are reconstructed from the last
     ``node-window`` telemetry seen per node, with latency columns absent.
     ``powercap-window`` events contribute budget-compliance stats.
+
+    Memory is O(nodes), not O(events): per node only the *last*
+    ``node-window`` snapshot plus streaming count/peak/mean power are
+    retained, and power-cap stats stream as count/sum/peak — a trace with
+    10x more windows summarizes in the same peak RSS (asserted by
+    ``tests/test_obs_streaming_summarize.py``).
     """
     summary = FleetTraceSummary(path=path)
-    windows: Dict[int, List[Dict[str, Any]]] = {}
-    node_rows: Dict[int, Dict[str, Any]] = {}
-    routed: Dict[int, Any] = {}
-    cap_totals: List[float] = []
+    # Per-node streaming window aggregates (the O(nodes) replacement for
+    # the retain-every-window list the seed implementation kept).
+    win_count: Dict[Any, int] = {}
+    win_last: Dict[Any, Dict[str, Any]] = {}
+    win_power_peak: Dict[Any, float] = {}
+    win_power_sum: Dict[Any, float] = {}
+    win_power_n: Dict[Any, int] = {}
+    node_rows: Dict[Any, Dict[str, Any]] = {}
+    routed: Dict[Any, Any] = {}
+    # Streaming power-cap stats (count/sum/peak over finite window totals).
+    cap_windows = 0
+    cap_finite_n = 0
+    cap_finite_sum: float = 0
+    cap_peak: Optional[float] = None
     cap_budget: Optional[float] = None
     cap_throttled = 0
-    downs: Dict[int, int] = {}
-    down_since: Dict[int, float] = {}
-    downtime: Dict[int, float] = {}
-    avail: Dict[int, Any] = {}
+    downs: Dict[Any, int] = {}
+    down_since: Dict[Any, float] = {}
+    downtime: Dict[Any, float] = {}
+    avail: Dict[Any, Any] = {}
     fault_counts = {
         "crashes": 0,
         "redispatches": 0,
@@ -290,7 +350,16 @@ def summarize_fleet_trace(path: str, strict: bool = True) -> FleetTraceSummary:
                 k: v for k, v in event.items() if k not in ("kind", "t")
             }
         elif kind == "node-window":
-            windows.setdefault(event.get("node"), []).append(event)
+            node = event.get("node")
+            win_count[node] = win_count.get(node, 0) + 1
+            win_last[node] = event
+            power = event.get("power_w")
+            if _is_number(power) and power == power:
+                win_power_n[node] = win_power_n.get(node, 0) + 1
+                win_power_sum[node] = win_power_sum.get(node, 0) + power
+                peak = win_power_peak.get(node)
+                if peak is None or power > peak:
+                    win_power_peak[node] = power
         elif kind == "node-summary":
             node = event.get("node")
             node_rows[node] = _node_row_from_metrics(node, event.get("metrics", {}))
@@ -333,20 +402,29 @@ def summarize_fleet_trace(path: str, strict: bool = True) -> FleetTraceSummary:
                 ):
                     summary.powercap[key] = event.get(src)
         elif kind == "powercap-window":
-            cap_totals.append(event.get("total_w", float("nan")))
+            total = event.get("total_w", float("nan"))
+            cap_windows += 1
+            # Accept any real number: watt totals that round-tripped
+            # through JSON as ints (e.g. an exact 100) count toward
+            # peak/mean exactly like their float twins; bools do not.
+            if _is_number(total) and total == total:
+                cap_finite_n += 1
+                cap_finite_sum += total
+                if cap_peak is None or total > cap_peak:
+                    cap_peak = total
             cap_budget = event.get("budget_w", cap_budget)
             if event.get("throttled"):
                 cap_throttled += 1
         elif kind == "run-warning":
             summary.warnings.append(event)
 
-    node_ids = sorted(set(windows) | set(node_rows), key=lambda n: (n is None, n))
+    node_ids = sorted(set(win_count) | set(node_rows), key=lambda n: (n is None, n))
     for node in node_ids:
         row = node_rows.get(node)
         if row is None:
             # Truncated trace: fall back to the last telemetry window
             # (counters there are cumulative).
-            last = windows[node][-1]
+            last = win_last[node]
             row = {
                 "node": node,
                 "energy_j": None,
@@ -360,7 +438,7 @@ def summarize_fleet_trace(path: str, strict: bool = True) -> FleetTraceSummary:
             }
             routed.setdefault(node, last.get("routed"))
         row["routed"] = routed.get(node)
-        row["windows"] = len(windows.get(node, []))
+        row["windows"] = win_count.get(node, 0)
         row["downs"] = downs.get(node, 0)
         if node in avail:
             row["avail"] = avail[node]
@@ -376,18 +454,23 @@ def summarize_fleet_trace(path: str, strict: bool = True) -> FleetTraceSummary:
             else:
                 row["avail"] = None
         summary.nodes.append(row)
+        n = win_power_n.get(node, 0)
+        summary.telemetry[node] = {
+            "windows": win_count.get(node, 0),
+            "peak_power_w": win_power_peak.get(node),
+            "mean_power_w": win_power_sum[node] / n if n else None,
+        }
 
     if summary.fleet and "downs" not in summary.fleet:
         summary.fleet["downs"] = fault_counts["crashes"]
     if any(fault_counts.values()):
         summary.faults = dict(fault_counts)
-    if cap_totals:
-        finite = [p for p in cap_totals if isinstance(p, float) and p == p]
-        summary.powercap["windows"] = len(cap_totals)
+    if cap_windows:
+        summary.powercap["windows"] = cap_windows
         summary.powercap.setdefault("budget_w", cap_budget)
-        if finite:
-            summary.powercap.setdefault("peak_w", max(finite))
-            summary.powercap.setdefault("mean_w", sum(finite) / len(finite))
+        if cap_finite_n:
+            summary.powercap.setdefault("peak_w", cap_peak)
+            summary.powercap.setdefault("mean_w", cap_finite_sum / cap_finite_n)
         summary.powercap.setdefault("throttled", cap_throttled)
     return summary
 

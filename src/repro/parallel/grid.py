@@ -126,6 +126,10 @@ class RunSpec:
         *excluded* from the cache key — the trace is a side artifact of
         executing the cell, not part of its result — but a traced cell
         always executes (a cache hit would produce no trace file).
+    trace_segment_events, trace_compress:
+        Trace storage layout (segment rotation and gzip/zstd codec),
+        forwarded to :class:`~repro.obs.TraceWriter`.  Side-artifact
+        controls like ``trace_out``: excluded from the cache key.
     """
 
     app: str
@@ -140,6 +144,8 @@ class RunSpec:
     extras: Tuple[str, ...] = ()
     label: str = ""
     trace_out: Optional[str] = None
+    trace_segment_events: Optional[int] = None
+    trace_compress: Optional[str] = None
 
     def execute(self) -> Tuple[RunMetrics, Dict[str, Any]]:
         """Run this cell from scratch (the generic spec protocol).
@@ -239,6 +245,8 @@ def execute_run_spec(spec: RunSpec) -> Tuple[RunMetrics, Dict[str, Any]]:
                 "num_cores": spec.num_cores,
                 "label": spec.label,
             },
+            trace_segment_events=spec.trace_segment_events,
+            trace_compress=spec.trace_compress,
         )
     try:
         if spec.policy == "deeppower":
@@ -322,6 +330,8 @@ def run_grid(
     cache: Optional[RunResultCache] = None,
     warmup: Optional[Callable[[], None]] = _default_warmup,
     trace_dir: Optional[str] = None,
+    trace_segment_events: Optional[int] = None,
+    trace_compress: Optional[str] = None,
 ) -> List[GridOutcome]:
     """Execute a grid of specs, in parallel and through the result cache.
 
@@ -335,16 +345,26 @@ def run_grid(
     to ``grid_trace_path(trace_dir, spec, i)``.  Traced cells skip the
     cache *read* (a hit would skip execution and leave no trace file) but
     their results are still written back for untraced reruns.
+    ``trace_segment_events`` / ``trace_compress`` pick the storage layout
+    for those per-cell traces (cells that arrive with their own
+    ``trace_out`` keep their own settings).
 
     Outcomes are returned in spec order regardless of completion order.
     """
     specs = list(specs)
     if trace_dir is not None:
         os.makedirs(trace_dir, exist_ok=True)
+        layout = {}
+        if trace_segment_events is not None:
+            layout["trace_segment_events"] = trace_segment_events
+        if trace_compress is not None:
+            layout["trace_compress"] = trace_compress
         specs = [
             spec
             if spec.trace_out
-            else replace(spec, trace_out=grid_trace_path(trace_dir, spec, i))
+            else replace(
+                spec, trace_out=grid_trace_path(trace_dir, spec, i), **layout
+            )
             for i, spec in enumerate(specs)
         ]
     outcomes: List[Optional[GridOutcome]] = [None] * len(specs)

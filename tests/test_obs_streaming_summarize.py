@@ -1,0 +1,367 @@
+"""Streaming (bounded-memory) summarization: equivalence + satellites.
+
+The ISSUE 9 contract: ``summarize_fleet_trace`` keeps O(nodes) running
+aggregates and ``summarize_trace`` a bounded join window, while the
+rendered output stays byte-identical to the pre-streaming (retain every
+event) implementation.  ``_reference_fleet_summary`` below reproduces
+that seed aggregation — per-node event *lists*, a ``cap_totals`` list —
+so the equivalence is checked against the real thing, not a tautology.
+"""
+
+import math
+import tracemalloc
+
+import pytest
+
+from repro.obs import (
+    FleetTraceSummary,
+    TraceWriter,
+    read_trace,
+    render_fleet_summary,
+    summarize_fleet_trace,
+    summarize_trace,
+)
+from repro.obs.summarize import _node_row_from_metrics, _scale_ms
+
+
+def _reference_fleet_summary(path: str) -> FleetTraceSummary:
+    """The seed (pre-streaming) aggregation: O(events) lists.
+
+    Same logic as the retained-lists implementation this PR replaced,
+    minus its two number-filter bugs (int watts and bool latencies are
+    pinned by their own regression tests below).
+    """
+    summary = FleetTraceSummary(path=path)
+    windows = {}      # node -> [every node-window event]  (O(events)!)
+    node_rows, routed = {}, {}
+    cap_totals, cap_budget, cap_throttled = [], None, 0
+    downs, down_since, downtime, avail = {}, {}, {}, {}
+    fault_counts = {
+        "crashes": 0, "redispatches": 0, "drops": 0,
+        "partitions": 0, "degraded": 0,
+    }
+    for event in read_trace(path):
+        kind = event.get("kind", "?")
+        summary.counts[kind] = summary.counts.get(kind, 0) + 1
+        if kind == "trace-header":
+            summary.meta = event.get("meta", {})
+        elif kind == "fleet-start":
+            summary.fleet_start = {
+                k: v for k, v in event.items() if k not in ("kind", "t")
+            }
+        elif kind == "node-window":
+            windows.setdefault(event.get("node"), []).append(event)
+        elif kind == "node-summary":
+            node = event.get("node")
+            node_rows[node] = _node_row_from_metrics(node, event.get("metrics", {}))
+            routed[node] = event.get("routed")
+            if event.get("availability") is not None:
+                avail[node] = event.get("availability")
+        elif kind == "node-down":
+            node = event.get("node")
+            downs[node] = downs.get(node, 0) + 1
+            down_since[node] = event.get("t", 0.0)
+            fault_counts["crashes"] += 1
+        elif kind == "node-up":
+            node = event.get("node")
+            t = event.get("t", 0.0)
+            downtime[node] = downtime.get(node, 0.0) + max(
+                0.0, t - down_since.pop(node, t)
+            )
+        elif kind == "redispatch":
+            fault_counts["redispatches"] += 1
+        elif kind == "request-drop":
+            fault_counts["drops"] += 1
+        elif kind == "telemetry-partition":
+            fault_counts["partitions"] += 1
+        elif kind == "node-degraded":
+            fault_counts["degraded"] += 1
+        elif kind == "fleet-summary":
+            metrics = event.get("metrics", {})
+            summary.fleet = _node_row_from_metrics("fleet", metrics)
+            summary.fleet["routed"] = sum(event.get("routed", []) or [0])
+            summary.fleet["windows"] = None
+            if event.get("fleet_availability") is not None:
+                summary.fleet["avail"] = event.get("fleet_availability")
+            if event.get("power_cap_watts") is not None:
+                for key, src in (
+                    ("budget_w", "power_cap_watts"),
+                    ("peak_w", "max_window_power"),
+                    ("mean_w", "mean_window_power"),
+                    ("throttled", "throttled_windows"),
+                    ("cap_ok", "cap_ok"),
+                ):
+                    summary.powercap[key] = event.get(src)
+        elif kind == "powercap-window":
+            cap_totals.append(event.get("total_w", float("nan")))
+            cap_budget = event.get("budget_w", cap_budget)
+            if event.get("throttled"):
+                cap_throttled += 1
+        elif kind == "run-warning":
+            summary.warnings.append(event)
+
+    node_ids = sorted(set(windows) | set(node_rows), key=lambda n: (n is None, n))
+    for node in node_ids:
+        row = node_rows.get(node)
+        if row is None:
+            last = windows[node][-1]
+            row = {
+                "node": node, "energy_j": None,
+                "power_w": last.get("power_w"),
+                "completed": last.get("completed"),
+                "timeouts": last.get("timeouts"),
+                "p95_ms": None, "p99_ms": None,
+                "mean_tail_ratio": None, "sla_met": None,
+            }
+            routed.setdefault(node, last.get("routed"))
+        row["routed"] = routed.get(node)
+        row["windows"] = len(windows.get(node, []))
+        row["downs"] = downs.get(node, 0)
+        if node in avail:
+            row["avail"] = avail[node]
+        else:
+            duration = summary.fleet_start.get("trace_duration")
+            if duration:
+                dt = downtime.get(node, 0.0)
+                if node in down_since:
+                    dt += max(0.0, duration - down_since[node])
+                row["avail"] = 1.0 - min(dt, duration) / duration
+            else:
+                row["avail"] = None
+        summary.nodes.append(row)
+
+    if summary.fleet and "downs" not in summary.fleet:
+        summary.fleet["downs"] = fault_counts["crashes"]
+    if any(fault_counts.values()):
+        summary.faults = dict(fault_counts)
+    if cap_totals:
+        finite = [
+            p for p in cap_totals
+            if isinstance(p, (int, float)) and not isinstance(p, bool) and p == p
+        ]
+        summary.powercap["windows"] = len(cap_totals)
+        summary.powercap.setdefault("budget_w", cap_budget)
+        if finite:
+            summary.powercap.setdefault("peak_w", max(finite))
+            summary.powercap.setdefault("mean_w", sum(finite) / len(finite))
+        summary.powercap.setdefault("throttled", cap_throttled)
+    return summary
+
+
+def _write_fleet_trace(path, nodes=4, windows=12, capped=True,
+                       summaries=True, chaos=False):
+    with TraceWriter(path, meta={"kind": "fleet", "seed": 1}) as tw:
+        tw.emit("fleet-start", t=0.0, num_nodes=nodes, trace_duration=float(windows))
+        for win in range(windows):
+            t = float(win + 1)
+            for node in range(nodes):
+                tw.emit(
+                    "node-window", t=t, node=node,
+                    power_w=14.0 + 0.37 * ((node * 5 + win) % 11),
+                    queue_len=(node + win) % 4, routed=win * 50 + node,
+                    completed=win * 49 + node, timeouts=win % 2,
+                )
+            if capped:
+                tw.emit("powercap-window", t=t,
+                        total_w=nodes * (14.0 + 0.5 * (win % 6)),
+                        budget_w=nodes * 17.0, throttled=win % 5 == 0)
+            if chaos and win == 3:
+                tw.emit("node-down", t=t, node=1, cause="crash")
+                tw.emit("redispatch", t=t, node=1, requests=7)
+            if chaos and win == 6:
+                tw.emit("node-up", t=t, node=1)
+        if summaries:
+            for node in range(nodes):
+                tw.emit(
+                    "node-summary", t=float(windows), node=node,
+                    routed=windows * 50 + node,
+                    availability=0.9 if (chaos and node == 1) else 1.0,
+                    metrics={
+                        "energy_joules": 900.0 + node,
+                        "avg_power_watts": 15.0 + 0.1 * node,
+                        "completed": windows * 49, "timeouts": 5,
+                        "p95_latency": 0.05, "tail_latency": 0.08,
+                        "mean_tail_ratio": 0.3, "sla_met": True,
+                    },
+                )
+            tw.emit(
+                "fleet-summary", t=float(windows),
+                routed=[windows * 50 + n for n in range(nodes)],
+                fleet_availability=0.97 if chaos else 1.0,
+                metrics={"energy_joules": 3600.0, "avg_power_watts": 60.0,
+                         "completed": nodes * windows * 49, "timeouts": 20,
+                         "p95_latency": 0.05, "tail_latency": 0.08,
+                         "mean_tail_ratio": 0.3, "sla_met": True},
+            )
+
+
+class TestStreamingEquivalence:
+    @pytest.mark.parametrize(
+        "shape",
+        [
+            dict(),                              # plain capped fleet
+            dict(capped=False),                  # uncapped
+            dict(summaries=False),               # truncated mid-run
+            dict(chaos=True),                    # faults + availability
+            dict(chaos=True, summaries=False),   # truncated chaos run
+        ],
+        ids=["fleet", "uncapped", "truncated", "chaos", "chaos-truncated"],
+    )
+    def test_render_byte_identical_to_seed_aggregation(self, tmp_path, shape):
+        path = str(tmp_path / "t.jsonl")
+        _write_fleet_trace(path, **shape)
+        streaming = render_fleet_summary(summarize_fleet_trace(path))
+        reference = render_fleet_summary(_reference_fleet_summary(path))
+        assert streaming == reference
+
+    def test_telemetry_aggregates_match_lists(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        _write_fleet_trace(path, nodes=3, windows=20)
+        powers = {}
+        for e in read_trace(path):
+            if e.get("kind") == "node-window":
+                powers.setdefault(e["node"], []).append(e["power_w"])
+        summary = summarize_fleet_trace(path)
+        for node, vals in powers.items():
+            tel = summary.telemetry[node]
+            assert tel["windows"] == len(vals)
+            assert tel["peak_power_w"] == max(vals)
+            assert tel["mean_power_w"] == sum(vals) / len(vals)
+
+    def test_flat_memory_at_10x_windows(self, tmp_path):
+        """O(nodes), not O(events): 10x more windows, same peak RSS."""
+        small = str(tmp_path / "small.jsonl")
+        large = str(tmp_path / "large.jsonl")
+        _write_fleet_trace(small, nodes=64, windows=30)
+        _write_fleet_trace(large, nodes=64, windows=300)
+
+        def peak(path):
+            summarize_fleet_trace(path)  # warm imports/caches
+            tracemalloc.start()
+            summarize_fleet_trace(path)
+            _, p = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            return p
+
+        p_small, p_large = peak(small), peak(large)
+        # Identical node count -> near-identical footprint; 1.5x headroom
+        # (plus a small constant) absorbs allocator noise while an
+        # O(events) implementation would blow straight past 5x.
+        assert p_large < 1.5 * p_small + 64 * 1024, (p_small, p_large)
+
+
+class TestPowercapNumberHandling:
+    def test_integer_watt_totals_counted(self, tmp_path):
+        """Regression (ISSUE 9): total_w values that round-tripped through
+        JSON as ints were dropped from peak/mean by an isinstance-float
+        filter."""
+        path = str(tmp_path / "t.jsonl")
+        with TraceWriter(path) as tw:
+            tw.emit("fleet-start", t=0.0, num_nodes=1)
+            tw.emit("node-window", t=1.0, node=0, power_w=10.0)
+            tw.emit("powercap-window", t=1.0, total_w=100, budget_w=120.0,
+                    throttled=False)
+            tw.emit("powercap-window", t=2.0, total_w=90.5, budget_w=120.0,
+                    throttled=True)
+        pc = summarize_fleet_trace(path).powercap
+        assert pc["windows"] == 2
+        assert pc["peak_w"] == 100
+        assert pc["mean_w"] == pytest.approx((100 + 90.5) / 2)
+        assert pc["throttled"] == 1
+
+    def test_bool_and_nan_totals_excluded(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with TraceWriter(path) as tw:
+            tw.emit("fleet-start", t=0.0, num_nodes=1)
+            tw.emit("node-window", t=1.0, node=0, power_w=10.0)
+            tw.emit("powercap-window", t=1.0, total_w=True, budget_w=120.0,
+                    throttled=False)
+            tw.emit("powercap-window", t=2.0, total_w=float("nan"),
+                    budget_w=120.0, throttled=False)
+            tw.emit("powercap-window", t=3.0, total_w=80.0, budget_w=120.0,
+                    throttled=False)
+        pc = summarize_fleet_trace(path).powercap
+        assert pc["windows"] == 3
+        assert pc["peak_w"] == 80.0 and pc["mean_w"] == 80.0
+
+
+class TestScaleMs:
+    def test_numbers_scale_including_ints(self):
+        assert _scale_ms(0.05) == 50.0
+        assert _scale_ms(2) == 2000.0
+
+    def test_bool_and_none_pass_through(self):
+        """Regression (ISSUE 9): isinstance(True, int) made a boolean
+        latency field render as 1000.0 ms."""
+        assert _scale_ms(True) is True
+        assert _scale_ms(False) is False
+        assert _scale_ms(None) is None
+        assert _scale_ms("n/a") == "n/a"
+
+    def test_bool_latency_survives_node_summary(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with TraceWriter(path) as tw:
+            tw.emit("fleet-start", t=0.0, num_nodes=1)
+            tw.emit("node-summary", t=1.0, node=0, routed=1,
+                    metrics={"p95_latency": True, "tail_latency": 0.1})
+        (row,) = summarize_fleet_trace(path).nodes
+        assert row["p95_ms"] is True
+        assert row["p99_ms"] == pytest.approx(100.0)
+
+
+class TestDegradedSteps:
+    def test_short_action_arrays_padded_with_nan(self, tmp_path):
+        """Regression (ISSUE 9): action[1] raised IndexError on degraded
+        drl-step events carrying fewer than 2 action entries."""
+        path = str(tmp_path / "t.jsonl")
+        with TraceWriter(path) as tw:
+            tw.emit("episode-start", episode=0)
+            tw.emit("drl-step", t=1.0, step=0, action=[0.5],
+                    reward={"total": -1.0}, degraded=True)
+            tw.emit("drl-step", t=2.0, step=1, action=[],
+                    reward={"total": -1.0})
+            tw.emit("drl-step", t=3.0, step=2, action=None,
+                    reward={"total": -1.0})
+            tw.emit("drl-step", t=4.0, step=3, action=[0.3, 0.7],
+                    reward={"total": -1.0})
+        rows = summarize_trace(path).intervals
+        assert rows[0]["base_freq"] == 0.5
+        assert math.isnan(rows[0]["scaling_coef"])
+        assert math.isnan(rows[1]["base_freq"])
+        assert math.isnan(rows[2]["scaling_coef"])
+        assert rows[3]["base_freq"] == 0.3 and rows[3]["scaling_coef"] == 0.7
+
+
+class TestBoundedJoin:
+    def _write_steps(self, path, steps, window_for):
+        with TraceWriter(path) as tw:
+            tw.emit("episode-start", episode=0)
+            for i in range(steps):
+                tw.emit("drl-step", t=float(i), step=i, action=[0.1, 0.2],
+                        reward={"total": 0.0})
+            for i in window_for:
+                tw.emit("controller-window", t=float(i), step=i, ticks=100 + i,
+                        dvfs_switches=i)
+
+    def test_window_joins_within_bound_only(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        self._write_steps(path, steps=6, window_for=[0, 5])
+        s = summarize_trace(path, join_window=2)
+        # step 0 was evicted from the 2-deep join state long before its
+        # window arrived; step 5 is still joinable.
+        assert s.intervals[0]["ticks"] is None
+        assert s.intervals[5]["ticks"] == 105
+        # every row still made it into the table regardless
+        assert len(s.intervals) == 6
+
+    def test_default_window_joins_everything(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        self._write_steps(path, steps=50, window_for=range(50))
+        s = summarize_trace(path)
+        assert all(r["ticks"] == 100 + i for i, r in enumerate(s.intervals))
+
+    def test_join_window_validated(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        self._write_steps(path, steps=1, window_for=[0])
+        with pytest.raises(ValueError, match="join_window"):
+            summarize_trace(path, join_window=0)

@@ -103,10 +103,32 @@ class TestReadTrace:
             + "\n"
             + '{"kind": "drl-st'  # crashed mid-write
         )
-        events = list(read_trace(str(p), strict=False))
+        with pytest.warns(UserWarning, match="bad JSON"):
+            events = list(read_trace(str(p), strict=False))
         assert [e["kind"] for e in events] == ["trace-header", "drl-step"]
         with pytest.raises(TraceError, match="bad JSON"):
             list(read_trace(str(p)))
+
+    def test_lenient_warns_on_corrupted_middle_line(self, tmp_path):
+        """Mid-file corruption must be *signalled*, not silently truncate:
+        the warning carries path and line number, and events after the
+        damage are dropped (resyncing could misparse torn bytes)."""
+        p = tmp_path / "mid.jsonl"
+        p.write_text(
+            json.dumps({"kind": "trace-header", "schema": TRACE_SCHEMA, "meta": {}})
+            + "\n"
+            + json.dumps({"kind": "before", "step": 0})
+            + "\n"
+            + "CORRUPTED GARBAGE NOT JSON\n"
+            + json.dumps({"kind": "after", "step": 1})
+            + "\n"
+        )
+        with pytest.warns(UserWarning) as record:
+            events = list(read_trace(str(p), strict=False))
+        assert [e["kind"] for e in events] == ["trace-header", "before"]
+        message = str(record[0].message)
+        assert str(p) in message and ":3:" in message
+        assert "skipped" in message
 
     def test_lenient_tolerates_line_torn_mid_utf8(self, tmp_path):
         """A crash can cut a line inside a multi-byte UTF-8 character;
@@ -117,7 +139,8 @@ class TestReadTrace:
         ).encode() + b"\n"
         torn = json.dumps({"kind": "note", "msg": "café"}).encode()
         p.write_bytes(whole + torn[:-3])  # cut inside the 2-byte é
-        events = list(read_trace(str(p), strict=False))
+        with pytest.warns(UserWarning, match="bad JSON"):
+            events = list(read_trace(str(p), strict=False))
         assert [e["kind"] for e in events] == ["trace-header"]
         with pytest.raises(TraceError, match="bad JSON"):
             list(read_trace(str(p)))
@@ -132,7 +155,8 @@ class TestReadTrace:
         )
         with pytest.raises(TraceError, match="not a JSON object"):
             list(read_trace(str(p)))
-        events = list(read_trace(str(p), strict=False))
+        with pytest.warns(UserWarning, match="not a JSON object"):
+            events = list(read_trace(str(p), strict=False))
         assert [e["kind"] for e in events] == ["trace-header"]
 
     def test_falls_back_to_part_file(self, tmp_path):

@@ -67,6 +67,16 @@ runs the same paired A/B protocol on the DRL runtime with the in-process
 control bus (empty fault plan) versus direct method calls, and fails
 (exit 1) when the bus run is more than ``BUS_OVERHEAD_TOLERANCE`` (5 %)
 slower.  Recorded under the ``bus`` key in BENCH_perf.json.
+
+Learned-coordinator overhead gate (ISSUE 10)::
+
+    python benchmarks/bench_perf.py --hier
+
+runs the paired A/B of a 64-node batched fleet under the learned budget
+coordinator (frozen fleet agent, ``train=False``) versus the heuristic
+:class:`~repro.cluster.powercap.PowerCapCoordinator`, and fails (exit 1)
+when the learned decision path costs more than
+``HIER_OVERHEAD_TOLERANCE`` (5 %).  Recorded under the ``hier`` key.
 """
 
 from __future__ import annotations
@@ -97,7 +107,9 @@ DEFAULT_BASELINE = os.path.join(os.path.dirname(__file__), "bench_perf_baseline.
 #: section, per-section ``cpus`` fields, and grid ``pool_stats``.
 #: Schema 3 (ISSUE 9): adds the ``trace`` section — streaming-summarize
 #: MB/s and compressed-vs-plain trace size ratios.
-BENCH_SCHEMA = 3
+#: Schema 4 (ISSUE 10): adds the ``hier`` section — learned fleet-agent
+#: decision overhead vs the heuristic coordinator at 64 batched nodes.
+BENCH_SCHEMA = 4
 
 #: --check fails when ticks/sec falls below (1 - this) * baseline.
 REGRESSION_TOLERANCE = 0.30
@@ -126,6 +138,12 @@ OBS_OVERHEAD_TOLERANCE = 0.02
 #: --bus fails when the fault-free in-process control bus A/B shows more
 #: than this fractional slowdown over the direct-call runtime.
 BUS_OVERHEAD_TOLERANCE = 0.05
+
+#: --hier fails when the learned budget coordinator (frozen actor) costs
+#: more than this fractional slowdown over the heuristic coordinator at
+#: 64 batched nodes — the fleet agent's decision path (observe + actor
+#: forward + apportion) must stay a rounding error next to simulation.
+HIER_OVERHEAD_TOLERANCE = 0.05
 
 
 class _LegacyThreadController(ThreadController):
@@ -377,6 +395,76 @@ def bench_bus_overhead(
         # Median of per-round paired ratios; > 1.0 means the bus run was
         # slower by that factor.
         "bus_overhead": _median([r["bus"] / r["direct"] for r in rounds]),
+    }
+
+
+def bench_hier_overhead(
+    nodes: int = 64, cores_per_node: int = 2, duration: float = 6.0,
+    load: float = 0.05, seed: int = 3, repeats: int = 3,
+) -> dict:
+    """In-process A/B of the learned budget coordinator vs the heuristic.
+
+    Same paired-rounds protocol as :func:`bench_bus_overhead`: one untimed
+    warmup, then each round runs the identical 64-node batched fleet under
+    the heuristic :class:`~repro.cluster.powercap.PowerCapCoordinator` and
+    under the learned coordinator with a frozen actor (``train=False`` —
+    the decision path minus learner updates, which are a tunable training
+    cost rather than fixed overhead), and the gate compares the median of
+    per-round wall-clock ratios at ``HIER_OVERHEAD_TOLERANCE`` (5 %).
+    Light per-worker load and the cheap tick-driven ``controller`` policy
+    keep the shared pipeline thin, so the ratio actually stresses the
+    coordinator path instead of burying it.
+    """
+    from repro.cluster import ClusterConfig, ClusterSim, fleet_power_budget
+    from repro.hier import HierConfig
+
+    app = get_app("xapian")
+    trace = constant_trace(
+        app.rps_for_load(load, nodes * cores_per_node), duration
+    )
+    budget = fleet_power_budget(nodes, cores_per_node, fraction=0.7)
+    hier = HierConfig(train=False)
+
+    def _one(learned: bool) -> tuple:
+        config = ClusterConfig(
+            app="xapian", num_nodes=nodes, cores_per_node=cores_per_node,
+            policy="controller", routing="jsq", seed=seed,
+            power_cap_watts=budget, stepping="batched",
+            hier=hier if learned else None,
+        )
+        t0 = time.perf_counter()
+        metrics = ClusterSim(config, trace).run()
+        return time.perf_counter() - t0, metrics
+
+    _one(True)  # warmup, discarded
+    rounds = []
+    decisions = 0
+    for _ in range(repeats):
+        heuristic_s, _m = _one(False)
+        learned_s, metrics = _one(True)
+        decisions = metrics.hier_decisions
+        rounds.append({"heuristic": heuristic_s, "learned": learned_s})
+    if decisions == 0:  # pragma: no cover - sanity guard
+        raise AssertionError("hier bench made no coordinator decisions")
+
+    def _median(vals):
+        s = sorted(vals)
+        mid = len(s) // 2
+        return s[mid] if len(s) % 2 else 0.5 * (s[mid - 1] + s[mid])
+
+    return {
+        "nodes": nodes,
+        "cores_per_node": cores_per_node,
+        "sim_seconds": duration,
+        "repeats": repeats,
+        "decisions": decisions,
+        "heuristic_seconds": min(r["heuristic"] for r in rounds),
+        "learned_seconds": min(r["learned"] for r in rounds),
+        # Median of per-round paired ratios; > 1.0 means the learned
+        # coordinator was slower by that factor.
+        "hier_overhead": _median(
+            [r["learned"] / r["heuristic"] for r in rounds]
+        ),
     }
 
 
@@ -735,6 +823,16 @@ def run_benchmarks(args) -> dict:
                 f"({row['ratio_vs_plain']:.1f}x smaller)"
             )
         result["trace"] = tr
+    if args.hier:
+        print("[bench_perf] learned-coordinator overhead A/B at 64 nodes ...")
+        hier = bench_hier_overhead()
+        print(
+            f"  heuristic {hier['heuristic_seconds']:.2f}s, learned "
+            f"{hier['learned_seconds']:.2f}s "
+            f"({(hier['hier_overhead'] - 1.0) * 100:+.1f}%, "
+            f"{hier['decisions']} decisions)"
+        )
+        result["hier"] = hier
     if args.bus:
         print("[bench_perf] control-bus overhead A/B (median of 5 paired rounds) ...")
         bus = bench_bus_overhead(duration=args.duration)
@@ -792,6 +890,26 @@ def check_bus_overhead(result: dict) -> int:
     print(
         f"[bench_perf] bus overhead {(overhead - 1.0) * 100:+.1f}% "
         f"(tolerance {BUS_OVERHEAD_TOLERANCE * 100:.0f}%): OK"
+    )
+    return 0
+
+
+def check_hier_overhead(result: dict) -> int:
+    """Gate the learned-vs-heuristic coordinator A/B; returns an exit code."""
+    overhead = result["hier"]["hier_overhead"]
+    ceiling = 1.0 + HIER_OVERHEAD_TOLERANCE
+    if overhead > ceiling:
+        print(
+            f"[bench_perf] REGRESSION: learned coordinator costs "
+            f"{(overhead - 1.0) * 100:.1f}% over the heuristic at "
+            f"{result['hier']['nodes']} nodes "
+            f"(> {HIER_OVERHEAD_TOLERANCE * 100:.0f}% tolerance)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"[bench_perf] hier overhead {(overhead - 1.0) * 100:+.1f}% "
+        f"(tolerance {HIER_OVERHEAD_TOLERANCE * 100:.0f}%): OK"
     )
     return 0
 
@@ -909,6 +1027,11 @@ def main(argv=None) -> int:
                    help="also run the control-bus A/B; exit 1 when the "
                         "fault-free bus costs more than "
                         f"{BUS_OVERHEAD_TOLERANCE:.0%} over direct calls")
+    p.add_argument("--hier", action="store_true",
+                   help="also run the learned-vs-heuristic budget "
+                        "coordinator A/B at 64 batched nodes; exit 1 when "
+                        "the frozen fleet agent's decision path costs more "
+                        f"than {HIER_OVERHEAD_TOLERANCE:.0%}")
     p.add_argument("--obs-check", action="store_true",
                    help="also run the observability A/B; exit 1 when a "
                         "metrics-only handle costs more than "
@@ -930,6 +1053,8 @@ def main(argv=None) -> int:
         code = max(code, check_obs_overhead(result))
     if args.bus:
         code = max(code, check_bus_overhead(result))
+    if args.hier:
+        code = max(code, check_hier_overhead(result))
     return code
 
 

@@ -31,6 +31,7 @@ Rebuild the per-interval (Fig 8-style) table from a trace::
 from __future__ import annotations
 
 import argparse
+import math
 import os
 import sys
 
@@ -60,22 +61,35 @@ def _positive_int(value: str) -> int:
 
 
 def _positive_float(value: str) -> float:
-    """argparse type for rates/intensities that must be > 0."""
+    """argparse type for rates/intensities that must be finite and > 0.
+
+    The finiteness check matters: ``float('nan') <= 0`` is False, so
+    without it ``nan`` (and ``inf``) would sail through a plain
+    positivity test and surface later as a deep simulation traceback.
+    """
     try:
         x = float(value)
     except ValueError:
         raise argparse.ArgumentTypeError(f"expected a number, got {value!r}")
+    if not math.isfinite(x):
+        raise argparse.ArgumentTypeError(
+            f"expected a finite number, got {value!r}"
+        )
     if x <= 0:
         raise argparse.ArgumentTypeError(f"must be > 0, got {x}")
     return x
 
 
 def _nonneg_float(value: str) -> float:
-    """argparse type for durations that must be >= 0."""
+    """argparse type for durations that must be finite and >= 0."""
     try:
         x = float(value)
     except ValueError:
         raise argparse.ArgumentTypeError(f"expected a number, got {value!r}")
+    if not math.isfinite(x):
+        raise argparse.ArgumentTypeError(
+            f"expected a finite number, got {value!r}"
+        )
     if x < 0:
         raise argparse.ArgumentTypeError(f"must be >= 0, got {x}")
     return x
@@ -153,17 +167,26 @@ def _out_dir_arg(value: str) -> str:
 
 
 def _power_cap_arg(value: str):
-    """argparse type for ``--power-cap``: positive watts or ``auto``."""
+    """argparse type for watt budgets: positive *finite* watts or ``auto``.
+
+    ``nan`` must be rejected explicitly — ``float('nan') <= 0`` is False,
+    so a plain positivity check would accept it and the run would only
+    fail much later, deep inside the coordinator.
+    """
     if value == "auto":
         return "auto"
     try:
         watts = float(value)
     except ValueError:
         raise argparse.ArgumentTypeError(
-            f"--power-cap expects watts or 'auto', got {value!r}"
+            f"expected watts or 'auto', got {value!r}"
+        )
+    if not math.isfinite(watts):
+        raise argparse.ArgumentTypeError(
+            f"watts must be a finite number, got {value!r}"
         )
     if watts <= 0:
-        raise argparse.ArgumentTypeError(f"--power-cap must be positive, got {watts}")
+        raise argparse.ArgumentTypeError(f"watts must be positive, got {watts}")
     return watts
 
 
@@ -506,6 +529,174 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _cmd_hier(args) -> int:
+    from .analysis.reporting import format_table
+    from .cluster import ClusterConfig, ClusterSim, fleet_power_budget, fleet_trace
+    from .experiments.fleet import fleet_dimensions
+    from .experiments.hier import HIER_LOAD
+    from .experiments.scenarios import active_profile, evaluation_trace
+    from .hier import HierConfig, build_fleet_agent
+    from .obs import Observability
+    from .parallel.pool import derive_seed
+
+    profile = active_profile(args.full)
+    _, default_cores = fleet_dimensions(profile)
+    cores = args.cores if args.cores is not None else default_cores
+    seed = args.seed if args.seed is not None else profile.seed
+    load = args.load if args.load is not None else HIER_LOAD
+    trace = fleet_trace(
+        evaluation_trace(profile), args.app, args.nodes, cores, load=load
+    )
+    budget = args.power_budget
+    if budget == "auto":
+        budget = fleet_power_budget(args.nodes, cores)
+    try:
+        hier = HierConfig(
+            algo=args.algo,
+            control=args.control,
+            train=not args.eval,
+            agent_path=args.agent,
+            shared_replay=args.shared_replay,
+            fed_avg_every=args.fed_avg_every,
+        )
+    except ValueError as exc:
+        print(f"invalid hier configuration: {exc}", file=sys.stderr)
+        return 2
+    config = ClusterConfig(
+        app=args.app,
+        num_nodes=args.nodes,
+        cores_per_node=cores,
+        policy=args.policy,
+        routing=args.routing,
+        power_cap_watts=budget,
+        seed=seed,
+        stepping=args.stepping,
+        hier=hier,
+    )
+
+    manager = None
+    fleet_agent = None
+    if args.checkpoint_dir is not None:
+        from .checkpoint import CheckpointManager
+
+        manager = CheckpointManager(args.checkpoint_dir, prefix="hier")
+        if args.resume:
+            record = manager.load_latest()
+            if record is None:
+                print(
+                    f"--resume: no fleet-agent snapshot in "
+                    f"{args.checkpoint_dir!r}; starting fresh",
+                    file=sys.stderr,
+                )
+            elif record.meta.get("kind") != "hier-fleet-agent":
+                print(
+                    f"--resume: newest snapshot in {args.checkpoint_dir!r} "
+                    f"is not a fleet-agent checkpoint "
+                    f"(kind={record.meta.get('kind')!r})",
+                    file=sys.stderr,
+                )
+                return 2
+            else:
+                fleet_agent = build_fleet_agent(
+                    args.nodes, hier, derive_seed(seed, "hier", "fleet-agent")
+                )
+                try:
+                    fleet_agent.load_state_dict(record.state["fleet_agent"])
+                except (KeyError, ValueError) as exc:
+                    print(f"--resume: snapshot rejected: {exc}", file=sys.stderr)
+                    return 2
+                print(
+                    f"resumed fleet agent from step {record.step} "
+                    f"({record.path})"
+                )
+
+    obs = None
+    if args.trace_out:
+        obs = Observability.from_paths(
+            trace_out=args.trace_out,
+            meta={
+                "kind": "hier",
+                "app": args.app,
+                "policy": args.policy,
+                "routing": args.routing,
+                "num_nodes": args.nodes,
+                "algo": args.algo,
+                "control": args.control,
+                "train": not args.eval,
+                "seed": seed,
+            },
+            trace_segment_events=args.trace_segment_events,
+            trace_compress=args.trace_compress,
+            trace_shard_key="node" if args.trace_shard_nodes else None,
+        )
+    sim = ClusterSim(config, trace, obs=obs, fleet_agent=fleet_agent)
+    try:
+        metrics = sim.run()
+    finally:
+        if obs is not None:
+            obs.close()
+
+    def _ms(seconds: float) -> float:
+        return seconds * 1e3
+
+    rows = []
+    for node, (m, routed) in enumerate(zip(metrics.node_metrics, metrics.routed)):
+        rows.append(
+            [node, routed, m.avg_power_watts, m.energy_joules, m.completed,
+             m.timeouts, _ms(m.p95_latency), _ms(m.tail_latency)]
+        )
+    f = metrics.fleet
+    rows.append(
+        ["fleet", sum(metrics.routed), f.avg_power_watts, f.energy_joules,
+         f.completed, f.timeouts, _ms(f.p95_latency), _ms(f.tail_latency)]
+    )
+    print(
+        f"hier: {args.nodes} nodes x {cores} cores, app={args.app}, "
+        f"policy={args.policy}, routing={args.routing}, "
+        f"algo={args.algo}, control={args.control}, "
+        f"mode={'eval' if args.eval else 'train'}, seed={seed}"
+    )
+    print(
+        format_table(
+            ["node", "routed", "power(W)", "energy(J)", "completed",
+             "timeouts", "p95(ms)", "p99(ms)"],
+            rows,
+            "{:.2f}",
+        )
+    )
+    verdict = "ok" if metrics.cap_ok else "EXCEEDED"
+    print(
+        f"power cap: budget={budget:.1f} W, "
+        f"peak window={metrics.max_window_power:.1f} W, "
+        f"throttled windows={metrics.throttled_windows} [{verdict}]"
+    )
+    print(
+        f"fleet agent: decisions={metrics.hier_decisions}, "
+        f"updates={metrics.hier_updates}, "
+        f"fed_rounds={metrics.hier_fed_rounds}, "
+        f"sla={'met' if f.sla_met else 'MISS'}"
+    )
+    if manager is not None:
+        step = (manager.latest_step() or 0) + 1
+        path = manager.save(
+            {"fleet_agent": sim.fleet_agent.state_dict()},
+            step=step,
+            meta={
+                "kind": "hier-fleet-agent",
+                "num_nodes": args.nodes,
+                "algo": args.algo,
+                "control": args.control,
+            },
+        )
+        print(f"fleet-agent checkpoint written to {path}")
+    if args.save_agent:
+        sim.fleet_agent.save(args.save_agent)
+        print(f"fleet-agent parameters saved to {args.save_agent}")
+    if args.trace_out:
+        print(f"trace written to {args.trace_out}")
+    return 0
+
+
 def _cmd_soak(args) -> int:
     from .experiments.soak import render_soak, run_soak
 
@@ -811,6 +1002,105 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_trace_layout_args(sp)
     sp.set_defaults(fn=_cmd_chaos)
+
+    from .hier.config import HIER_ALGOS, HIER_CONTROLS
+
+    sp = sub.add_parser(
+        "hier",
+        help="run a fleet whose watt budget (and/or routing weights) is "
+        "apportioned by a learned fleet-level agent instead of the "
+        "heuristic coordinator",
+    )
+    sp.add_argument("--app", default="xapian")
+    sp.add_argument(
+        "--nodes", type=_positive_int, default=4,
+        help="number of simulated machines (default: 4)",
+    )
+    sp.add_argument(
+        "--cores", type=_positive_int, default=None,
+        help="cores per node (default: profile-sized)",
+    )
+    sp.add_argument(
+        "--policy", default="baseline",
+        help="per-node power policy: baseline, retail, gemini, deeppower",
+    )
+    sp.add_argument(
+        "--routing", default="power-aware",
+        choices=["round-robin", "jsq", "power-aware"],
+        help="dispatcher routing policy (default: power-aware)",
+    )
+    sp.add_argument(
+        "--power-budget", type=_power_cap_arg, default="auto",
+        help="global fleet power budget in watts the agent apportions, or "
+        "'auto' (default) for a budget at 70%% of the fleet's "
+        "controllable range",
+    )
+    sp.add_argument(
+        "--algo", default="ddpg", choices=list(HIER_ALGOS),
+        help="upper-level learner (default: ddpg)",
+    )
+    sp.add_argument(
+        "--control", default="budget", choices=list(HIER_CONTROLS),
+        help="what the agent's action controls: per-node watt budgets, "
+        "dispatcher routing weights, or both (default: budget)",
+    )
+    sp.add_argument(
+        "--eval", action="store_true",
+        help="run the actor frozen: no exploration noise, no learner "
+        "updates (default: train online during the run)",
+    )
+    sp.add_argument(
+        "--agent", default=None,
+        help="fleet-agent parameters .npz to preload (written by "
+        "--save-agent)",
+    )
+    sp.add_argument(
+        "--save-agent", type=_out_file_arg, default=None,
+        help="save the fleet agent's network parameters here after the "
+        "run (the --agent eval artifact)",
+    )
+    sp.add_argument(
+        "--shared-replay", action="store_true",
+        help="pool the node agents' transitions through one shared replay "
+        "buffer (--policy deeppower only; ignored otherwise)",
+    )
+    sp.add_argument(
+        "--fed-avg-every", type=_nonneg_int, default=0,
+        help="coordination windows between federated parameter averages "
+        "across node agents (0 disables; requires --shared-replay)",
+    )
+    sp.add_argument(
+        "--load", type=_positive_float, default=None,
+        help="mean fleet utilisation the arrival trace is scaled to "
+        "(default: the hier experiment's load)",
+    )
+    sp.add_argument("--seed", type=int, default=None, help="default: profile seed")
+    sp.add_argument("--full", action="store_true", help="full-scale profile")
+    sp.add_argument(
+        "--stepping", default="auto", choices=["auto", "batched", "scalar"],
+        help="fleet stepping strategy: 'batched' vectorises controller "
+        "ticks and dispatch across nodes, 'scalar' forces the per-node "
+        "path, 'auto' (default) batches at >= 16 nodes; results are "
+        "bitwise identical either way",
+    )
+    sp.add_argument(
+        "--checkpoint-dir", default=None,
+        help="write the fleet agent's complete learner state (networks, "
+        "optimisers, replay, noise, RNG) here after the run",
+    )
+    sp.add_argument(
+        "--resume", action="store_true",
+        help="preload the newest fleet-agent snapshot from "
+        "--checkpoint-dir and continue training from it",
+    )
+    sp.add_argument(
+        "--trace-out", type=_out_file_arg, default=None,
+        help="write a node-tagged JSONL trace here, including "
+        "coordinator-decision events "
+        "(inspect with: deeppower trace summarize FILE --group-by node)",
+    )
+    _add_trace_layout_args(sp)
+    sp.set_defaults(fn=_cmd_hier)
 
     sp = sub.add_parser(
         "soak",

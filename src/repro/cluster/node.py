@@ -223,7 +223,12 @@ def _deeppower_node_driver(
     agent_path: Optional[str],
     agent_seed: int,
 ):
-    """A frozen evaluation-mode DeepPower runtime for one node.
+    """A DeepPower runtime for one node (evaluation mode by default).
+
+    ``policy_kwargs={"train": True}`` keeps the node learner live — the
+    hierarchical fleet layer uses this so node agents keep collecting
+    transitions (optionally into a shared replay pool) under the fleet
+    agent.
 
     Deferred imports: :mod:`repro.experiments` imports this package via the
     fleet experiment, so the dependency must stay runtime-only here.
@@ -234,7 +239,7 @@ def _deeppower_node_driver(
     agent, cfg = tuned_agent_setup(agent_seed, app=node.app)
     if agent_path is not None:
         agent.load(agent_path)
-    cfg.train = False
+    cfg.train = bool(kwargs.get("train", False))
     cfg.record_steps = False
     return DeepPowerRuntime(node.engine, node.server, node.monitor, agent, cfg)
 

@@ -36,7 +36,7 @@ all (≥ the fleet's aggregate fmin floor).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -396,6 +396,72 @@ class PowerCapCoordinator:
         if fit.size == 0:
             return levels[0]
         return levels[int(fit[-1])]
+
+    # ------------------------------------------------------------- persistence
+
+    def state_dict(self) -> Dict:
+        """Snapshot the coordinator's mutable window state.
+
+        Without this, a kill-and-resume mid-fleet-run restarts the energy
+        baseline at the resume-time counter and the ceilings at turbo, so
+        the first resumed cap window measures a bogus power and replays
+        differently from the uninterrupted run.  Captures the energy/time
+        baseline, last measured powers, applied ceilings, throttle count
+        and the window history.
+        """
+        return {
+            "kind": "powercap-coordinator",
+            "num_nodes": len(self.nodes),
+            "budget_watts": self.budget_watts,
+            "last_energy": self._last_energy.copy(),
+            "last_time": float(self._last_time),
+            "last_powers": self._last_powers.copy(),
+            "throttled_windows": int(self.throttled_windows),
+            "ceilings": [float(cap.ceiling) for cap in self.caps],
+            "history": [
+                {
+                    "time": w.time,
+                    "powers": list(w.powers),
+                    "targets": list(w.targets),
+                    "ceilings": list(w.ceilings),
+                    "budget_watts": w.budget_watts,
+                    "reason": w.reason,
+                }
+                for w in self.history
+            ],
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Restore a snapshot taken by :meth:`state_dict`.
+
+        Re-applies the saved per-node ceilings (clamping any core already
+        above them), so the next window continues exactly where the
+        snapshotted run left off.
+        """
+        if state.get("kind") != "powercap-coordinator":
+            raise ValueError("snapshot is not a powercap-coordinator state")
+        if int(state["num_nodes"]) != len(self.nodes):
+            raise ValueError(
+                f"snapshot covers {state['num_nodes']} nodes, coordinator "
+                f"has {len(self.nodes)}"
+            )
+        self._last_energy = np.array(state["last_energy"], dtype=float)
+        self._last_time = float(state["last_time"])
+        self._last_powers = np.array(state["last_powers"], dtype=float)
+        self.throttled_windows = int(state["throttled_windows"])
+        for cap, ceiling in zip(self.caps, state["ceilings"]):
+            cap.set_ceiling(float(ceiling))
+        self.history = [
+            CapWindow(
+                time=float(w["time"]),
+                powers=tuple(float(p) for p in w["powers"]),
+                targets=tuple(float(t) for t in w["targets"]),
+                ceilings=tuple(float(c) for c in w["ceilings"]),
+                budget_watts=float(w["budget_watts"]),
+                reason=str(w["reason"]),
+            )
+            for w in state["history"]
+        ]
 
     # ----------------------------------------------------------------- queries
 

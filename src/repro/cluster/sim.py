@@ -93,6 +93,13 @@ class ClusterConfig:
     #: either way (tests byte-compare traces), so this field is excluded
     #: from FleetSpec cache payloads.
     stepping: str = "auto"
+    #: Hierarchical fleet-RL layer (:class:`repro.hier.HierConfig`): a
+    #: fleet-level agent takes over the coordinator's budget apportioning
+    #: and/or the dispatcher's routing weights.  ``None`` (the default)
+    #: keeps the heuristic coordinator — no agent is built, no extra RNG
+    #: stream is drawn, no extra events run, and the run stays bitwise
+    #: identical to one from before the hier layer existed.
+    hier: Optional[Any] = None
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
@@ -128,6 +135,23 @@ class ClusterConfig:
                 f"stepping must be 'auto', 'batched' or 'scalar', "
                 f"got {self.stepping!r}"
             )
+        if self.hier is not None:
+            from ..hier.config import HierConfig
+
+            if not isinstance(self.hier, HierConfig):
+                raise TypeError(
+                    f"hier must be a HierConfig, got {type(self.hier).__name__}"
+                )
+            if self.power_cap_watts is None:
+                raise ValueError(
+                    "hier requires power_cap_watts: the fleet agent "
+                    "apportions the cap budget, so there must be one"
+                )
+
+    @property
+    def hier_active(self) -> bool:
+        """Whether a learned fleet-level coordinator drives this run."""
+        return self.hier is not None
 
     @property
     def batched_stepping(self) -> bool:
@@ -172,6 +196,10 @@ class FleetMetrics:
     redispatches: int = 0
     partitions: int = 0
     unroutable: int = 0
+    # ---- hierarchical-coordinator accounting (zero without a hier layer) ----
+    hier_decisions: int = 0
+    hier_updates: int = 0
+    hier_fed_rounds: int = 0
     #: Per-node up-fraction of the trace window (1.0 without faults).
     node_availability: List[float] = None  # type: ignore[assignment]
 
@@ -212,6 +240,9 @@ class FleetMetrics:
             "redispatches": self.redispatches,
             "partitions": self.partitions,
             "unroutable": self.unroutable,
+            "hier_decisions": self.hier_decisions,
+            "hier_updates": self.hier_updates,
+            "hier_fed_rounds": self.hier_fed_rounds,
             "node_availability": list(self.node_availability),
             "fleet_availability": self.fleet_availability,
         }
@@ -253,6 +284,11 @@ class ClusterSim:
         lifecycle (the sim flushes but never closes it).
     table, power_model:
         Shared DVFS table / power model for every node.
+    fleet_agent:
+        Optional pre-built :class:`~repro.hier.FleetAgent` to reuse (the
+        hier training loop carries one agent across episodes); only valid
+        with ``config.hier`` set.  ``None`` builds a fresh one from the
+        hier-namespaced seed.
     """
 
     def __init__(
@@ -262,6 +298,7 @@ class ClusterSim:
         obs: Any = None,
         table: FrequencyTable = DEFAULT_TABLE,
         power_model: PowerModel = DEFAULT_POWER_MODEL,
+        fleet_agent: Any = None,
     ) -> None:
         self.config = config
         self.trace = trace
@@ -292,11 +329,19 @@ class ClusterSim:
         health_aware = (
             resilience if config.health_aware is None else bool(config.health_aware)
         )
+        # The dispatch stream also backs learned routing weights; like the
+        # degraded de-weighting it is only *drawn* when a weighted decision
+        # actually happens, so merely creating it never perturbs a run.
+        hier_weights = config.hier is not None and config.hier.controls_weights
         self.dispatcher = Dispatcher(
             self.nodes,
             self.router,
             health_aware=health_aware,
-            rng=self.rngs.get("dispatch") if resilience else None,
+            rng=(
+                self.rngs.get("dispatch")
+                if (resilience or hier_weights)
+                else None
+            ),
             degraded_penalty=config.degraded_penalty,
         )
         self.lifecycle: Optional[NodeLifecycle] = None
@@ -320,7 +365,60 @@ class ClusterSim:
             self.rngs.get("arrivals"),
         )
         self.coordinator: Optional[PowerCapCoordinator] = None
-        if config.power_cap_watts is not None:
+        self.fleet_agent: Any = None
+        self.shared_replay: Any = None
+        if fleet_agent is not None and config.hier is None:
+            raise ValueError(
+                "fleet_agent given but config.hier is None; enable the hier "
+                "layer to use a fleet agent"
+            )
+        if config.hier is not None:
+            # Runtime-only import: repro.hier imports this package's
+            # siblings, so the dependency must not be module-level here.
+            from ..hier import (
+                LearnedBudgetCoordinator,
+                SharedReplay,
+                build_fleet_agent,
+            )
+            from ..parallel.pool import derive_seed
+
+            if fleet_agent is not None:
+                self.fleet_agent = fleet_agent
+            else:
+                self.fleet_agent = build_fleet_agent(
+                    config.num_nodes,
+                    config.hier,
+                    derive_seed(config.seed, "hier", "fleet-agent"),
+                )
+            self.coordinator = LearnedBudgetCoordinator(
+                self.engine,
+                self.nodes,
+                config.power_cap_watts,
+                self.fleet_agent,
+                config.hier,
+                self.app.sla,
+                window=config.cap_window,
+                boost=config.cap_boost,
+                trace=self._trace_writer,
+                dispatcher=(
+                    self.dispatcher if config.hier.controls_weights else None
+                ),
+            )
+            if config.hier.shared_replay and config.policy == "deeppower":
+                node_agents = [
+                    d.agent for d in self.drivers if hasattr(d, "agent")
+                ]
+                proto = node_agents[0].replay
+                self.shared_replay = SharedReplay(
+                    proto.capacity,
+                    proto.state_dim,
+                    proto.action_dim,
+                    derive_seed(config.seed, "hier", "shared-replay"),
+                )
+                for node, agent in zip(self.nodes, node_agents):
+                    self.shared_replay.bind(agent, node.node_id)
+                self.coordinator.shared_replay = self.shared_replay
+        elif config.power_cap_watts is not None:
             self.coordinator = PowerCapCoordinator(
                 self.engine,
                 self.nodes,
@@ -552,6 +650,13 @@ class ClusterSim:
             redispatches=life.redispatches if life else 0,
             partitions=life.partitions if life else 0,
             unroutable=self.dispatcher.unroutable,
+            hier_decisions=int(getattr(coord, "decisions", 0) or 0),
+            hier_updates=(
+                int(coord.agent.updates)
+                if coord is not None and hasattr(coord, "agent")
+                else 0
+            ),
+            hier_fed_rounds=int(getattr(coord, "fed_rounds", 0) or 0),
             node_availability=availability,
         )
 
@@ -641,6 +746,8 @@ class FleetSpec:
     #: so deliberately NOT part of ``cache_payload``: a cached scalar
     #: result is valid for a batched request and vice versa.
     stepping: str = "auto"
+    #: Hierarchical fleet-RL layer; None = heuristic coordinator.
+    hier: Optional[Any] = None
 
     def cache_payload(self) -> dict:
         from ..parallel.cache import file_digest, plan_digest
@@ -669,6 +776,10 @@ class FleetSpec:
             "health_aware": self.health_aware,
             "straggler_multiple": self.straggler_multiple,
             "degraded_penalty": self.degraded_penalty,
+            # Learned-coordinator runs must never collide with heuristic
+            # runs of the same spec; the payload covers every
+            # learning-relevant hier field.
+            "hier": self.hier.cache_payload() if self.hier is not None else None,
         }
 
     def to_config(self) -> ClusterConfig:
@@ -691,6 +802,7 @@ class FleetSpec:
             straggler_multiple=self.straggler_multiple,
             degraded_penalty=self.degraded_penalty,
             stepping=self.stepping,
+            hier=self.hier,
         )
 
     def execute(self) -> Tuple[FleetMetrics, Dict[str, Any]]:
@@ -699,16 +811,21 @@ class FleetSpec:
 
         obs = None
         if self.trace_out:
+            meta = {
+                "app": self.app,
+                "policy": self.policy,
+                "routing": self.routing,
+                "num_nodes": self.num_nodes,
+                "seed": self.seed,
+                "label": self.label,
+            }
+            # Only hier runs carry the extra meta key: a hier-disabled
+            # trace stays byte-identical to a pre-hier fleet trace.
+            if self.hier is not None:
+                meta["hier"] = f"{self.hier.algo}:{self.hier.control}"
             obs = Observability.from_paths(
                 trace_out=self.trace_out,
-                meta={
-                    "app": self.app,
-                    "policy": self.policy,
-                    "routing": self.routing,
-                    "num_nodes": self.num_nodes,
-                    "seed": self.seed,
-                    "label": self.label,
-                },
+                meta=meta,
                 trace_segment_events=self.trace_segment_events,
                 trace_compress=self.trace_compress,
                 trace_shard_key="node" if self.trace_shard_by_node else None,

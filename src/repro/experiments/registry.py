@@ -30,6 +30,7 @@ from .fig11_fixed_params import render_fig11, run_fig11
 from .chaos import render_chaos, run_chaos
 from .fault_tolerance import render_fault_tolerance, run_fault_tolerance
 from .fleet import render_fleet, run_fleet
+from .hier import render_hier, run_hier
 from .overhead import render_overhead, run_overhead
 from .robustness import render_robustness, run_mmpp_robustness
 from .soak import render_soak, run_soak
@@ -142,6 +143,7 @@ REGISTRY: Dict[str, Experiment] = {
         Experiment("control-soak", "DeepPower over a lossy control bus: degraded mode vs no-defence ablation", run_soak, render_soak),
         Experiment("fleet", "cluster fleet: routing x power policy grid under a global power cap", run_fleet, render_fleet),
         Experiment("chaos", "fleet under seeded node failures: fault intensity x routing, failover vs none", run_chaos, render_chaos),
+        Experiment("hier", "hierarchical fleet RL: learned vs heuristic budget coordinator vs uncapped", run_hier, render_hier),
     ]
 }
 

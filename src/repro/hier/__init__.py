@@ -1,0 +1,48 @@
+"""Hierarchical fleet RL: a learned budget agent above the per-node agents.
+
+The :class:`~repro.cluster.powercap.PowerCapCoordinator` apportions the
+fleet's watt budget with a fixed heuristic (boosted demand + headroom
+redistribution).  This package replaces that *apportioning decision* with
+a fleet-level DRL agent — the two-level scheme of HiDVFS and Liu et al.'s
+hierarchical cloud framework (PAPERS.md) — while keeping the enforcement
+path untouched: targets still become per-node DVFS ceilings through
+``_ceiling_for`` + :class:`~repro.cluster.powercap.FrequencyCap`, so the
+cap stays guaranteed by construction no matter what the agent emits.
+
+* :class:`HierConfig` — frozen, picklable description of the layer; a
+  ``ClusterConfig.hier`` of ``None`` (the default) keeps fleet runs
+  bitwise identical to runs without this package,
+* :class:`FleetObserver` — the fleet observation: per-node windowed load,
+  p99/SLA slack, RAPL-style watts, routed share and the health masks the
+  batched stepping layer maintains (:mod:`repro.hier.obs`),
+* :class:`FleetAgent` / :func:`build_fleet_agent` — the upper-level agent
+  on the existing DDPG/TD3/SAC stack, acting in ``[0, 1]^k`` budget
+  shares and/or dispatcher weights (:mod:`repro.hier.agent`),
+* :class:`SharedReplay` + :func:`federated_average` — node agents pooling
+  transitions through one seed-namespaced buffer, with optional periodic
+  parameter averaging (:mod:`repro.hier.replay`),
+* :class:`LearnedBudgetCoordinator` — the drop-in coordinator subclass
+  that queries the agent every window, emits ``coordinator-decision``
+  trace events and re-apportions on membership changes
+  (:mod:`repro.hier.coordinator`).
+"""
+
+from .agent import FleetAgent, build_fleet_agent, fleet_state_dim
+from .config import HIER_ALGOS, HIER_CONTROLS, HierConfig
+from .coordinator import LearnedBudgetCoordinator
+from .obs import FEATURES_PER_NODE, FleetObserver
+from .replay import SharedReplay, federated_average
+
+__all__ = [
+    "HierConfig",
+    "HIER_ALGOS",
+    "HIER_CONTROLS",
+    "FleetObserver",
+    "FEATURES_PER_NODE",
+    "FleetAgent",
+    "build_fleet_agent",
+    "fleet_state_dim",
+    "SharedReplay",
+    "federated_average",
+    "LearnedBudgetCoordinator",
+]

@@ -1,0 +1,244 @@
+"""The fleet-level agent: DDPG/TD3/SAC over the fleet observation.
+
+Reuses the existing :mod:`repro.rl` stack unchanged — the only new code
+is the actor sizing (state dim scales with fleet size, action dim with
+what the layer controls) and a uniform save/load/state_dict surface over
+the three algorithms so the coordinator, the CLI and the checkpoint tree
+never branch on ``algo``.
+
+Action layout (all components in [0, 1], sigmoid/tanh-squashed):
+
+* ``control="budget"``  — ``a[i]`` is node *i*'s share of its controllable
+  power envelope (see
+  :meth:`~repro.hier.coordinator.LearnedBudgetCoordinator.apportion`),
+* ``control="weights"`` — ``a[i]`` is node *i*'s dispatcher routing
+  weight (floored by ``min_weight``),
+* ``control="both"``    — first N entries budgets, last N weights.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..nn.network import MLP
+from ..nn.serialization import load_modules, save_modules
+from ..rl.ddpg import DdpgAgent, DdpgConfig
+from ..rl.sac import SacAgent, SacConfig
+from ..rl.td3 import Td3Agent, Td3Config
+from .config import HierConfig
+from .obs import FEATURES_PER_NODE
+
+__all__ = ["FleetAgent", "build_fleet_agent", "fleet_state_dim"]
+
+
+def fleet_state_dim(num_nodes: int) -> int:
+    """Flattened fleet-observation width for an ``num_nodes`` fleet."""
+    if num_nodes < 1:
+        raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+    return num_nodes * FEATURES_PER_NODE
+
+
+def _action_dim(num_nodes: int, config: HierConfig) -> int:
+    return num_nodes * (2 if config.control == "both" else 1)
+
+
+def _build_actor(
+    state_dim: int,
+    action_dim: int,
+    hidden,
+    rng: np.random.Generator,
+    init_share: float,
+) -> MLP:
+    """Sigmoid MLP actor small-initialised at the ``init_share`` point.
+
+    Same small-weight discipline as the node actor
+    (:func:`repro.core.agent.build_actor`, Lillicrap et al.'s
+    U(-3e-3, 3e-3)), but the head's bias is the logit of ``init_share``
+    rather than zero: the untrained policy emits near-``init_share``
+    budgets/weights — safe-by-default generous apportioning — instead of
+    whatever the weight init happens to saturate to.
+    """
+    actor = MLP(
+        [state_dim, *hidden, action_dim], rng, output_activation="sigmoid"
+    )
+    last_linear = actor.layers[-2]  # [..., Linear, Sigmoid]
+    last_linear.weight.data *= 0.01
+    last_linear.bias.data[...] = float(
+        np.log(init_share / (1.0 - init_share))
+    )
+    return actor
+
+
+class FleetAgent:
+    """Algorithm-agnostic wrapper around one upper-level learner.
+
+    ``act`` / ``observe`` / ``update`` / ``ready`` delegate straight to the
+    wrapped agent; ``save``/``load`` persist network parameters as an
+    ``.npz`` (the eval artifact ``--agent`` loads), and
+    ``state_dict``/``load_state_dict`` capture the *complete* learner
+    (networks, optimisers, replay, noise, RNG) for bit-exact
+    checkpoint/resume through :mod:`repro.checkpoint`.
+    """
+
+    def __init__(
+        self, agent, config: HierConfig, num_nodes: int, seed: int
+    ) -> None:
+        self._agent = agent
+        self.config = config
+        self.num_nodes = int(num_nodes)
+        self.seed = int(seed)
+        self.state_dim = fleet_state_dim(num_nodes)
+        self.action_dim = _action_dim(num_nodes, config)
+
+    # ------------------------------------------------------------------ acting
+
+    def act(self, state: np.ndarray, explore: bool = True) -> np.ndarray:
+        state = np.asarray(state, dtype=float)
+        if state.shape != (self.state_dim,):
+            raise ValueError(
+                f"fleet state must have shape ({self.state_dim},), "
+                f"got {state.shape}"
+            )
+        # The node agents' warmup phase acts uniformly at random; at fleet
+        # level one random apportioning window can choke a node's queue and
+        # ruin the whole run's p99, so the warmup acts deterministically at
+        # the safe-start operating point instead (exploration comes from
+        # the policy noise once the replay pool holds warmup transitions).
+        if explore and self._agent.replay.total_pushed < self._agent.cfg.warmup:
+            explore = False
+        return np.asarray(self._agent.act(state, explore=explore), dtype=float)
+
+    def observe(self, state, action, reward, next_state, done=False) -> None:
+        self._agent.observe(state, action, reward, next_state, done)
+
+    @property
+    def ready(self) -> bool:
+        return bool(self._agent.ready)
+
+    def update(self) -> Optional[Dict[str, float]]:
+        return self._agent.update()
+
+    @property
+    def updates(self) -> int:
+        return int(self._agent.updates)
+
+    # ------------------------------------------------------------- persistence
+
+    def _modules(self) -> Dict[str, object]:
+        a = self._agent
+        if self.config.algo == "sac":
+            return {
+                "policy": a.policy,
+                "critic": a.critic,
+                "critic_target": a.critic_target,
+            }
+        return {
+            "actor": a.actor,
+            "actor_target": a.actor_target,
+            "critic": a.critic,
+            "critic_target": a.critic_target,
+        }
+
+    def save(self, path: str) -> None:
+        """Persist network parameters (the ``--agent`` eval artifact)."""
+        save_modules(self._modules(), path)
+
+    def load(self, path: str) -> None:
+        """Restore parameters saved by :meth:`save` (shape-checked, so a
+        snapshot from a different fleet size or algo fails loudly)."""
+        load_modules(self._modules(), path)
+
+    def state_dict(self) -> Dict:
+        return {
+            "kind": "fleet-agent",
+            "num_nodes": self.num_nodes,
+            "control": self.config.control,
+            "agent": self._agent.state_dict(),
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        if state.get("kind") != "fleet-agent":
+            raise ValueError("snapshot is not a fleet-agent state_dict")
+        if int(state["num_nodes"]) != self.num_nodes:
+            raise ValueError(
+                f"snapshot is for a {state['num_nodes']}-node fleet, "
+                f"this agent manages {self.num_nodes}"
+            )
+        if state.get("control") != self.config.control:
+            raise ValueError(
+                f"snapshot controls {state.get('control')!r}, "
+                f"this agent controls {self.config.control!r}"
+            )
+        self._agent.load_state_dict(state["agent"])
+
+
+def build_fleet_agent(
+    num_nodes: int, config: HierConfig, seed: int
+) -> FleetAgent:
+    """Construct the upper-level learner for an ``num_nodes`` fleet.
+
+    ``seed`` should already be hier-namespaced
+    (``derive_seed(fleet_seed, "hier", "fleet-agent")``) so the fleet
+    agent's exploration stream never aliases a node's streams.
+    """
+    state_dim = fleet_state_dim(num_nodes)
+    action_dim = _action_dim(num_nodes, config)
+    rng = np.random.default_rng(seed)
+    if config.algo == "ddpg":
+        cfg = DdpgConfig(
+            state_dim=state_dim,
+            action_dim=action_dim,
+            gamma=0.9,
+            tau=0.01,
+            batch_size=config.batch_size,
+            buffer_capacity=config.buffer_capacity,
+            warmup=config.warmup,
+            noise_mu=0.0,
+            noise_sigma=config.noise_sigma,
+            noise_decay=config.noise_decay,
+            noise_min_sigma=config.noise_min_sigma,
+            critic_hidden=tuple(config.hidden),
+        )
+        agent = DdpgAgent(
+            lambda: _build_actor(
+                state_dim, action_dim, config.hidden, rng, config.init_share
+            ),
+            cfg,
+            rng,
+        )
+    elif config.algo == "td3":
+        cfg = Td3Config(
+            state_dim=state_dim,
+            action_dim=action_dim,
+            batch_size=config.batch_size,
+            buffer_capacity=config.buffer_capacity,
+            warmup=config.warmup,
+            noise_mu=0.0,
+            noise_sigma=config.noise_sigma,
+            noise_decay=config.noise_decay,
+            noise_min_sigma=config.noise_min_sigma,
+            critic_hidden=tuple(config.hidden),
+        )
+        agent = Td3Agent(
+            lambda: _build_actor(
+                state_dim, action_dim, config.hidden, rng, config.init_share
+            ),
+            cfg,
+            rng,
+        )
+    else:  # sac (HierConfig validated algo membership)
+        cfg = SacConfig(
+            state_dim=state_dim,
+            action_dim=action_dim,
+            batch_size=config.batch_size,
+            buffer_capacity=config.buffer_capacity,
+            warmup=config.warmup,
+            hidden=tuple(config.hidden),
+        )
+        agent = SacAgent(cfg, rng)
+    fleet_agent = FleetAgent(agent, config, num_nodes, seed)
+    if config.agent_path is not None:
+        fleet_agent.load(config.agent_path)
+    return fleet_agent

@@ -267,6 +267,10 @@ class FleetTraceSummary:
     fleet: Dict[str, Any] = field(default_factory=dict)
     #: Power-cap coordination stats (empty when the run was uncapped).
     powercap: Dict[str, Any] = field(default_factory=dict)
+    #: Hierarchical-coordinator stats from ``coordinator-decision`` events
+    #: (empty when the run used the heuristic coordinator — keeping
+    #: non-hier renderings byte-identical to the pre-hier renderer).
+    hier: Dict[str, Any] = field(default_factory=dict)
     #: Fault/chaos stats (crashes, redispatches, drops, partitions);
     #: empty for immortal fleets.
     faults: Dict[str, Any] = field(default_factory=dict)
@@ -329,6 +333,13 @@ def summarize_fleet_trace(path: str, strict: bool = True) -> FleetTraceSummary:
     cap_peak: Optional[float] = None
     cap_budget: Optional[float] = None
     cap_throttled = 0
+    # Streaming hierarchical-coordinator stats (O(1) like the cap stats).
+    hier_decisions = 0
+    hier_learned = 0
+    hier_reward_n = 0
+    hier_reward_sum: float = 0
+    hier_updates: Optional[int] = None
+    hier_fed_rounds: Optional[int] = None
     downs: Dict[Any, int] = {}
     down_since: Dict[Any, float] = {}
     downtime: Dict[Any, float] = {}
@@ -415,6 +426,18 @@ def summarize_fleet_trace(path: str, strict: bool = True) -> FleetTraceSummary:
             cap_budget = event.get("budget_w", cap_budget)
             if event.get("throttled"):
                 cap_throttled += 1
+        elif kind == "coordinator-decision":
+            hier_decisions += 1
+            if event.get("learned"):
+                hier_learned += 1
+            reward = event.get("reward")
+            if _is_number(reward) and reward == reward:
+                hier_reward_n += 1
+                hier_reward_sum += reward
+            if event.get("updates") is not None:
+                hier_updates = event.get("updates")
+            if event.get("fed_rounds") is not None:
+                hier_fed_rounds = event.get("fed_rounds")
         elif kind == "run-warning":
             summary.warnings.append(event)
 
@@ -472,6 +495,15 @@ def summarize_fleet_trace(path: str, strict: bool = True) -> FleetTraceSummary:
             summary.powercap.setdefault("peak_w", cap_peak)
             summary.powercap.setdefault("mean_w", cap_finite_sum / cap_finite_n)
         summary.powercap.setdefault("throttled", cap_throttled)
+    if hier_decisions:
+        summary.hier["decisions"] = hier_decisions
+        summary.hier["learned"] = hier_learned
+        if hier_reward_n:
+            summary.hier["mean_reward"] = hier_reward_sum / hier_reward_n
+        if hier_updates is not None:
+            summary.hier["updates"] = hier_updates
+        if hier_fed_rounds:
+            summary.hier["fed_rounds"] = hier_fed_rounds
     return summary
 
 
@@ -524,6 +556,12 @@ def render_fleet_summary(
         lines.append("")
         lines.append(
             "powercap: " + ", ".join(f"{k}={v}" for k, v in sorted(pc.items()))
+        )
+    if summary.hier:
+        lines.append("")
+        lines.append(
+            "hier: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(summary.hier.items()))
         )
     if summary.faults:
         lines.append("")

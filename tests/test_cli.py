@@ -47,6 +47,42 @@ class TestValidation:
             main(["fleet", "--power-cap", "lots"])
         assert "watts or 'auto'" in capsys.readouterr().err
 
+    @pytest.mark.parametrize("bad", ["nan", "inf", "NaN"])
+    def test_power_cap_rejects_nonfinite(self, capsys, bad):
+        # float('nan') <= 0 is False, so without an explicit isfinite
+        # check these used to sail through and traceback much later.
+        with pytest.raises(SystemExit):
+            main(["fleet", "--power-cap", bad])
+        assert "finite" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("bad", ["nan", "inf"])
+    def test_hier_power_budget_rejects_nonfinite(self, capsys, bad):
+        with pytest.raises(SystemExit):
+            main(["hier", "--power-budget", bad])
+        assert "finite" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "flag", ["--load", "--intensity", "--retry-backoff"]
+    )
+    def test_chaos_rates_reject_nonfinite(self, capsys, flag):
+        with pytest.raises(SystemExit):
+            main(["chaos", flag, "nan"])
+        assert "finite" in capsys.readouterr().err
+
+    def test_hier_fed_avg_requires_shared_replay(self, capsys):
+        assert main(["hier", "--fed-avg-every", "4"]) == 2
+        assert "shared_replay" in capsys.readouterr().err
+
+    def test_hier_rejects_unknown_algo(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["hier", "--algo", "dqn"])
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_hier_resume_requires_checkpoint_dir(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["hier", "--resume"])
+        assert "--resume requires --checkpoint-dir" in capsys.readouterr().err
+
     def test_fleet_nodes_must_be_positive(self, capsys):
         with pytest.raises(SystemExit):
             main(["fleet", "--nodes", "0"])

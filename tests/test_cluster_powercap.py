@@ -133,6 +133,65 @@ class TestApportion:
             PowerCapCoordinator(engine, nodes, 10.0, window=0.0)
 
 
+class TestCoordinatorStateDict:
+    """Satellite: coordinator window state must checkpoint/restore exactly."""
+
+    def _ran_coordinator(self):
+        engine, nodes = _nodes(2)
+        budget = fleet_power_budget(2, 2, fraction=0.5)
+        coord = PowerCapCoordinator(engine, nodes, budget)
+        coord.start()
+        engine.run_until(3.5)  # a few cap windows of history
+        return engine, nodes, coord, budget
+
+    def test_round_trip_restores_everything(self):
+        _, _, coord, budget = self._ran_coordinator()
+        assert coord.history  # the snapshot carries real window state
+        snap = coord.state_dict()
+        engine2, nodes2 = _nodes(2)
+        fresh = PowerCapCoordinator(engine2, nodes2, budget)
+        fresh.load_state_dict(snap)
+
+        def _as_json(state):
+            import json
+
+            return json.dumps(
+                state, default=lambda o: o.tolist(), sort_keys=True
+            )
+
+        assert _as_json(fresh.state_dict()) == _as_json(snap)
+        # Restored ceilings are re-applied to the actual frequency caps.
+        for cap, ceiling in zip(fresh.caps, snap["ceilings"]):
+            assert cap.ceiling == pytest.approx(ceiling)
+        assert fresh.throttled_windows == coord.throttled_windows
+        np.testing.assert_array_equal(fresh._last_energy, coord._last_energy)
+        np.testing.assert_array_equal(fresh._last_powers, coord._last_powers)
+        assert [w.reason for w in fresh.history] == [
+            w.reason for w in coord.history
+        ]
+
+    def test_snapshot_is_plain_data(self):
+        import json
+
+        _, _, coord, _ = self._ran_coordinator()
+        encoded = json.dumps(
+            coord.state_dict(), default=lambda o: o.tolist(), sort_keys=True
+        )
+        assert "powercap-coordinator" in encoded
+
+    def test_rejects_mismatched_snapshot(self):
+        _, _, coord, budget = self._ran_coordinator()
+        snap = coord.state_dict()
+        engine2, nodes2 = _nodes(3)
+        other = PowerCapCoordinator(
+            engine2, nodes2, fleet_power_budget(3, 2, fraction=0.5)
+        )
+        with pytest.raises(ValueError, match="node"):
+            other.load_state_dict(snap)
+        with pytest.raises(ValueError, match="powercap-coordinator"):
+            coord.load_state_dict({"kind": "something-else"})
+
+
 class TestFleetPowerBudget:
     def test_always_feasible_and_monotone(self):
         floor = 2 * DEFAULT_POWER_MODEL.socket_power(
